@@ -1,0 +1,19 @@
+"""Shared benchmark plumbing.
+
+Every bench runs its experiment once per round (the workloads are
+deterministic, so more iterations only re-measure Python overhead),
+prints the paper-style table, and asserts the reproduction band.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` through pytest-benchmark with one warm round."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=3, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,73 @@
+"""Ablation: sensitivity of the eNetSTL-vs-kernel gap to crossing costs.
+
+DESIGN.md calls out two design choices this bench quantifies:
+
+1. **kfunc-call overhead**: the whole high-level-interface argument
+   rests on keeping eBPF<->library crossings rare.  Sweeping the
+   per-call cost shows the kernel gap scaling with it — and why
+   per-instruction interfaces (many crossings) lose (Fig. 6).
+2. **helper-call overhead**: the pure-eBPF baseline's pain scales with
+   the helper cost; sweeping it moves the eNetSTL improvement, which
+   bounds how sensitive the headline ratios are to that calibration.
+"""
+
+from repro.ebpf.cost_model import CostModel, ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.net.flowgen import FlowGenerator
+from repro.net.xdp import XdpPipeline
+from repro.nfs import CountMinNF
+
+
+def _cycles(mode: ExecMode, costs: CostModel, trace) -> float:
+    rt = BpfRuntime(mode=mode, costs=costs, seed=5)
+    nf = CountMinNF(rt, depth=8)
+    return XdpPipeline(nf).run(trace).cycles_per_packet
+
+
+def test_kfunc_cost_sensitivity(run_once):
+    trace = FlowGenerator(256, seed=5).trace(800)
+
+    def experiment():
+        out = {}
+        for kfunc_cost in (7, 20, 40, 80):
+            costs = CostModel().scaled(kfunc_call=kfunc_cost)
+            enet = _cycles(ExecMode.ENETSTL, costs, trace)
+            kern = _cycles(ExecMode.KERNEL, costs, trace)
+            out[kfunc_cost] = 1.0 - kern / enet
+        return out
+
+    gaps = run_once(experiment)
+    print()
+    print("== Ablation: kernel gap vs kfunc-call cost (count-min, k=8) ==")
+    for cost, gap in gaps.items():
+        print(f"  kfunc_call={cost:>3} cycles -> gap to kernel {gap:.2%}")
+    # Monotone growth; stays small at the calibrated cost.
+    values = list(gaps.values())
+    assert all(values[i] < values[i + 1] for i in range(len(values) - 1))
+    assert gaps[7] < 0.04
+    assert gaps[80] > 3 * gaps[7]
+
+
+def test_helper_cost_sensitivity(run_once):
+    trace = FlowGenerator(256, seed=5).trace(800)
+
+    def experiment():
+        out = {}
+        for scale in (0.5, 1.0, 2.0):
+            costs = CostModel().scaled(
+                hash_scalar=int(CostModel().hash_scalar * scale)
+            )
+            ebpf = _cycles(ExecMode.PURE_EBPF, costs, trace)
+            enet = _cycles(ExecMode.ENETSTL, costs, trace)
+            out[scale] = ebpf / enet - 1.0
+        return out
+
+    imps = run_once(experiment)
+    print()
+    print("== Ablation: eNetSTL improvement vs software-hash cost ==")
+    for scale, imp in imps.items():
+        print(f"  hash_scalar x{scale:<4} -> improvement +{imp:.1%}")
+    # The headline ratio moves with the calibration, but the *ordering*
+    # (eNetSTL wins) holds across a 4x range of software-hash costs.
+    assert all(imp > 0.0 for imp in imps.values())
+    assert imps[2.0] > imps[1.0] > imps[0.5]

@@ -1,0 +1,13 @@
+"""Fig. 6: rational abstraction — high-level vs per-instruction kfuncs."""
+
+import repro.analysis as a
+
+
+def test_fig6_interfaces(run_once):
+    comparison = run_once(a.fig6_interface_comparison)
+    print()
+    print(a.render_interfaces(comparison))
+    # Paper: the low-level interfaces degrade performance 59.0%..73.1%.
+    for name, data in comparison.items():
+        assert 0.55 <= data["degradation"] <= 0.76, name
+        assert data["low"] > data["high"]

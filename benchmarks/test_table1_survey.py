@@ -1,0 +1,16 @@
+"""Table 1: the 35-work survey + this repo's measured degradations."""
+
+import repro.analysis as a
+
+
+def test_table1_survey(run_once):
+    measured = run_once(a.measured_degradations, n_packets=800)
+    print()
+    print(a.render_table1(measured))
+    summary = a.survey_summary()
+    assert (summary["total"], summary["infeasible"],
+            summary["degraded"], summary["ok"]) == (35, 3, 28, 4)
+    # Paper's global degradation envelope: 14.8% .. 49.2%.
+    assert all(0.10 <= d <= 0.55 for d in measured.values())
+    assert max(measured.values()) >= 0.35
+    assert min(measured.values()) <= 0.20

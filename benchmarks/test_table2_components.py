@@ -1,0 +1,16 @@
+"""Table 2: per-component microbenchmarks (§6.4)."""
+
+import repro.analysis as a
+
+
+def test_table2_components(run_once):
+    results = run_once(a.table2_results)
+    print()
+    print(a.render_components(results))
+    imps = a.table2_improvements()
+    # Paper: single-component improvements span 52.0% .. 513%.
+    assert all(imp >= 0.50 for imp in imps.values()), imps
+    assert max(imps.values()) >= 3.0
+    assert max(imps.values()) <= 5.5
+    # The biggest wins are the random pools (helper-call elimination).
+    assert imps["random_pool"] == max(imps.values())

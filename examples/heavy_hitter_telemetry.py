@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Heavy-hitter telemetry: HeavyKeeper + NitroSketch on skewed traffic.
+
+A realistic measurement deployment: Zipf traffic (a few elephant flows,
+a long tail of mice), a HeavyKeeper top-k tracker and a sampled
+NitroSketch both attached at XDP.  Prints detection quality against
+ground truth and the throughput cost of each configuration.
+
+Run:  python examples/heavy_hitter_telemetry.py
+"""
+
+from collections import Counter
+
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.net.flowgen import FlowGenerator
+from repro.net.xdp import XdpPipeline
+from repro.nfs import HeavyKeeperNF, NitroSketchNF
+
+N_PACKETS = 40_000
+N_FLOWS = 2048
+TOP_K = 16
+
+
+def main() -> None:
+    flows = FlowGenerator(
+        n_flows=N_FLOWS, distribution="zipf", zipf_s=1.15, seed=42
+    )
+    trace = flows.trace(N_PACKETS)
+    truth = Counter(p.key_int for p in trace)
+    true_top = [key for key, _ in truth.most_common(TOP_K)]
+
+    # --- HeavyKeeper: who are the elephants? -------------------------
+    rt = BpfRuntime(mode=ExecMode.ENETSTL, seed=42)
+    hk = HeavyKeeperNF(rt, depth=2, width=4096, k=TOP_K)
+    result = XdpPipeline(hk).run(trace)
+    reported = [key for _, key in hk.topk()]
+    recall = len(set(reported) & set(true_top)) / TOP_K
+    print(f"HeavyKeeper (eNetSTL): {result.mpps:.2f} Mpps")
+    print(f"  top-{TOP_K} recall vs ground truth: {recall:.0%}")
+    print("  heaviest flows (estimate vs truth):")
+    for count, key in hk.topk()[:5]:
+        print(f"    flow {key & 0xFFFFFFFF:>10x}: est {count:>6} true {truth[key]:>6}")
+
+    # --- NitroSketch: per-flow rates at a fraction of the cost -------
+    print("\nNitroSketch at different sampling probabilities:")
+    for p in (1.0, 0.25, 1 / 16):
+        rt = BpfRuntime(mode=ExecMode.ENETSTL, seed=42)
+        nitro = NitroSketchNF(rt, depth=8, width=8192, update_prob=p)
+        result = XdpPipeline(nitro).run(trace)
+        errors = [
+            abs(nitro.estimate(key) - truth[key]) / truth[key]
+            for key in true_top
+        ]
+        print(
+            f"  p={p:<7.4f}: {result.mpps:6.2f} Mpps, "
+            f"mean top-flow error {sum(errors) / len(errors):6.1%}"
+        )
+
+    # --- the same sketch in pure eBPF, for contrast -----------------
+    rt = BpfRuntime(mode=ExecMode.PURE_EBPF, seed=42)
+    nitro = NitroSketchNF(rt, depth=8, width=8192, update_prob=0.25)
+    result = XdpPipeline(nitro).run(trace)
+    print(f"\npure-eBPF NitroSketch p=0.25: {result.mpps:.2f} Mpps "
+          f"(the gap is Fig. 3(d))")
+
+
+if __name__ == "__main__":
+    main()

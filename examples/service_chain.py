@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A composed service chain: firewall -> flow cache -> load balancer.
+
+Real deployments chain NFs on one XDP hook.  This example wires three
+of them — a HyperCuts rule firewall, an LRU flow cache (only possible
+through the memory wrapper), and a Maglev backend selector — into one
+pipeline, and measures the chain end-to-end in eBPF and eNetSTL builds.
+
+It also shows the queueing-latency extension: what happens to
+end-to-end latency as offered load approaches each build's capacity.
+
+Run:  python examples/service_chain.py
+"""
+
+from repro.analysis.experiments import make_rules_for_flows
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.net.flowgen import FlowGenerator
+from repro.net.packet import Packet, XdpAction
+from repro.net.xdp import XdpPipeline
+from repro.nfs import HyperCutsNF, LruCacheNF, MaglevNF
+
+
+class ServiceChain:
+    """firewall -> flow cache -> balancer on a shared runtime."""
+
+    def __init__(self, mode: ExecMode, rules, seed: int = 5) -> None:
+        self.rt = BpfRuntime(mode=mode, seed=seed)
+        self.firewall = HyperCutsNF(self.rt, rules)
+        # The cache needs the memory wrapper; in a pure-eBPF chain it
+        # simply cannot exist, so that build skips it (the paper's P1).
+        self.cache = (
+            None
+            if mode == ExecMode.PURE_EBPF
+            else LruCacheNF(self.rt, capacity=512)
+        )
+        self.balancer = MaglevNF(self.rt)
+        self.denied = 0
+
+    def process(self, packet: Packet) -> str:
+        verdict = self.firewall.process(packet)
+        if verdict == XdpAction.DROP:
+            self.denied += 1
+            return XdpAction.DROP
+        if self.cache is not None:
+            self.cache.process(packet)
+        return self.balancer.process(packet)
+
+
+def main() -> None:
+    flows = FlowGenerator(n_flows=1024, distribution="zipf", seed=5)
+    rules = make_rules_for_flows(flows.flows[:768])   # 75% of flows allowed
+    trace = flows.trace(15_000)
+
+    print("service chain: HyperCuts firewall -> LRU cache -> Maglev\n")
+    results = {}
+    for mode in (ExecMode.PURE_EBPF, ExecMode.ENETSTL):
+        chain = ServiceChain(mode, rules)
+        result = XdpPipeline(chain).run(trace)
+        results[mode] = result
+        cache_note = (
+            "no flow cache (P1: infeasible)"
+            if chain.cache is None
+            else f"cache hit rate "
+                 f"{chain.cache.hits / max(chain.cache.hits + chain.cache.misses, 1):.0%}"
+        )
+        print(
+            f"  {mode.label:8s}: {result.mpps:5.2f} Mpps | "
+            f"denied {chain.denied} | {cache_note}"
+        )
+
+    print(
+        "\n  note: the eNetSTL build is slower per packet because it does "
+        "MORE —\n  the flow-cache stage simply cannot exist in the pure-eBPF "
+        "chain.\n  Functionality, not just speed, is what the library adds "
+        "here."
+    )
+
+    print("\nlatency vs offered load (M/D/1 queueing extension):")
+    for offered in (0.5e6, 2e6, 4e6):
+        row = [f"{offered / 1e6:4.1f} Mpps offered:"]
+        for mode, result in results.items():
+            lat = result.latency_at_load_us(offered)
+            row.append(
+                f"{mode.label} "
+                + (f"{lat:7.1f} us" if lat != float("inf") else "saturated")
+            )
+        print("   " + "   ".join(row))
+
+
+if __name__ == "__main__":
+    main()

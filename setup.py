@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable builds (which need ``bdist_wheel``) fail; this shim
+lets ``pip install -e .`` take the legacy ``setup.py develop`` path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

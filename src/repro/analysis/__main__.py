@@ -1,0 +1,106 @@
+"""Command-line report generator: ``python -m repro.analysis``.
+
+Runs the full experiment suite and prints every paper table/figure in
+text form.  Options select a subset and the workload size:
+
+    python -m repro.analysis                   # everything, default size
+    python -m repro.analysis --only fig3e fig7
+    python -m repro.analysis --packets 5000    # heavier workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import experiments as exp
+from . import report
+from .components import fig6_interface_comparison, table2_results
+from .survey import measured_degradations
+
+
+def _sweep_runner(fn, title):
+    def run(n):
+        print(report.render_sweep(fn(n_packets=n), title))
+
+    return run
+
+
+RUNNERS = {
+    "table1": lambda n: print(
+        report.render_table1(measured_degradations(n_packets=min(n, 1000)))
+    ),
+    "fig1": lambda n: print(
+        report.render_behavior_shares(exp.fig1_behavior_shares(n_packets=n))
+    ),
+    "table2": lambda n: print(report.render_components(table2_results())),
+    "fig3a": _sweep_runner(exp.fig3a_skiplist_lookup,
+                           "Fig. 3(a): skip-list KV lookup"),
+    "fig3b": _sweep_runner(exp.fig3b_skiplist_update_delete,
+                           "Fig. 3(b): skip-list KV update/delete"),
+    "fig3c": _sweep_runner(exp.fig3c_cuckoo_switch,
+                           "Fig. 3(c): CuckooSwitch vs load"),
+    "fig3d": _sweep_runner(exp.fig3d_nitrosketch,
+                           "Fig. 3(d): NitroSketch vs update probability"),
+    "fig3e": _sweep_runner(exp.fig3e_countmin,
+                           "Fig. 3(e): Count-min vs #hashes"),
+    "fig3f": _sweep_runner(exp.fig3f_timewheel,
+                           "Fig. 3(f): time wheel vs granularity"),
+    "fig3g": _sweep_runner(exp.fig3g_cuckoo_filter,
+                           "Fig. 3(g): cuckoo filter vs load"),
+    "fig3h": _sweep_runner(exp.fig3h_eiffel,
+                           "Fig. 3(h): Eiffel cFFS vs levels"),
+    "others": lambda n: [
+        print(report.render_sweep(exp.other_nf(nf, n_packets=n), f"{nf}"))
+        for nf in ("efd", "tss", "heavykeeper", "vbf")
+    ],
+    "fig45": lambda n: print(
+        report.render_latency(exp.fig4_fig5_latency(n_packets=min(n, 500)))
+    ),
+    "fig6": lambda n: print(report.render_interfaces(fig6_interface_comparison())),
+    "fig7": lambda n: print(report.render_apps(exp.fig7_apps(n_packets=n))),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Reproduce the eNetSTL evaluation tables and figures.",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        choices=sorted(RUNNERS),
+        help="run only these experiments (default: all)",
+    )
+    parser.add_argument(
+        "--packets",
+        type=int,
+        default=2000,
+        help="packets per measured configuration (default 2000)",
+    )
+    parser.add_argument(
+        "--paper-check",
+        action="store_true",
+        help="compare every headline metric against the paper's value",
+    )
+    args = parser.parse_args(argv)
+    if args.paper_check:
+        from .paper_targets import check_all, render_check
+
+        results = check_all(n_packets=args.packets)
+        print(render_check(results))
+        return 0 if all(r.ok for r in results) else 1
+    selected = args.only or list(RUNNERS)
+    start = time.time()
+    for i, name in enumerate(selected):
+        if i:
+            print()
+        RUNNERS[name](args.packets)
+    print(f"\n[{len(selected)} experiment(s) in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Fig. 7 integrations: real-world eBPF projects with swappable cores."""
+
+from .base import BaseApp
+from .katran import KatranApp
+from .polycube import PolycubeBridgeApp
+from .rakelimit import RakeLimitApp
+from .sketchsuite import SketchSuiteApp
+
+ALL_APPS = {
+    "katran": KatranApp,
+    "rakelimit": RakeLimitApp,
+    "polycube": PolycubeBridgeApp,
+    "sketches": SketchSuiteApp,
+}
+
+__all__ = [
+    "BaseApp",
+    "KatranApp",
+    "PolycubeBridgeApp",
+    "RakeLimitApp",
+    "SketchSuiteApp",
+    "ALL_APPS",
+]

@@ -1,0 +1,51 @@
+"""Real-world eBPF project skeletons for the Fig. 7 integration study.
+
+Each app is a small data-plane pipeline with a clearly identified *core
+component* (the part §6.5 swaps out).  Built two ways:
+
+- ``integrated=False`` ("Origin"): the component uses stock eBPF
+  machinery — BPF hash-map lookups with in-helper jhash and chain
+  walks, per-row software hashes, per-packet helper randomness;
+- ``integrated=True`` ("eNetSTL"): the component is replaced with the
+  eNetSTL equivalent (blocked-cuckoo KV via ``hw_hash_crc`` +
+  ``find_simd``, unified ``hash_simd_cnt`` sketches, random pools).
+
+Non-core work (parsing beyond the 5-tuple, encapsulation, forwarding
+logic) is charged identically in both builds, so the measured delta is
+exactly the component swap — the shape of the paper's experiment.
+"""
+
+from __future__ import annotations
+
+from ..ebpf.cost_model import Category, ExecMode
+from ..ebpf.runtime import BpfRuntime
+from ..net.packet import Packet
+
+#: A full BPF hash-map lookup keyed by the 5-tuple: helper call +
+#: in-kernel jhash + bucket chain walk + value copy-out.
+BPF_HASH_LOOKUP_FULL = 110
+#: Amortized BPF hash-map update on the same path.
+BPF_HASH_UPDATE_FULL = 130
+
+
+class BaseApp:
+    """Common plumbing for the Fig. 7 applications."""
+
+    name = "app"
+    #: Short label of the replaced core component.
+    core_component = ""
+
+    def __init__(self, integrated: bool, seed: int = 0) -> None:
+        self.integrated = integrated
+        mode = ExecMode.ENETSTL if integrated else ExecMode.PURE_EBPF
+        self.rt = BpfRuntime(mode=mode, seed=seed)
+
+    @property
+    def label(self) -> str:
+        return "eNetSTL" if self.integrated else "Origin"
+
+    def charge(self, cycles: int, category: Category = Category.OTHER) -> None:
+        self.rt.charge(cycles, category)
+
+    def process(self, packet: Packet) -> str:
+        raise NotImplementedError

@@ -1,0 +1,88 @@
+"""Katran-style L4 load balancer ([57]).
+
+Hot path per packet: extended header parse, consistent-hash ring math
+for new flows, a *connection-table lookup* (the core component: flow ->
+real-server binding), stats accounting, and IPIP encapsulation before
+TX.  The integration swaps the BPF-hash connection table for an
+eNetSTL blocked-cuckoo table (``hw_hash_crc`` + ``find_simd``) and the
+stats hash map for percpu counters.
+"""
+
+from __future__ import annotations
+
+from ..core.algorithms.simd import SimdOps
+from ..datastructs.cuckoo import BlockedCuckooTable
+from ..ebpf.cost_model import Category
+from ..net.packet import Packet, XdpAction
+from .base import BPF_HASH_LOOKUP_FULL, BPF_HASH_UPDATE_FULL, BaseApp
+
+#: Non-core work, identical in both builds.
+EXTENDED_PARSE = 60      # L4 options / ICMP / QUIC CID peeking
+CH_RING_MATH = 30        # consistent-hash ring position
+ENCAP_COST = 90          # IPIP header push + checksum fixup
+STATS_PERCPU = 22        # percpu array counter bump (integrated build)
+
+
+class KatranApp(BaseApp):
+    """Forwards flows to backend reals; learns new flows on the fly."""
+
+    name = "Katran"
+    core_component = "connection-table key-value query"
+
+    def __init__(self, integrated: bool, n_reals: int = 16, seed: int = 0) -> None:
+        super().__init__(integrated, seed)
+        self.n_reals = n_reals
+        self._conn_map = {}                        # Origin's BPF hash
+        self._conn_cuckoo = BlockedCuckooTable(4096, 8)   # eNetSTL build
+        self._simd = SimdOps(self.rt, Category.BUCKETS)
+        self.forwarded = 0
+        self.new_flows = 0
+
+    def _pick_real(self, key: int) -> int:
+        self.charge(CH_RING_MATH, Category.OTHER)
+        return key % self.n_reals
+
+    def _conn_lookup(self, key: int):
+        if not self.integrated:
+            self.charge(BPF_HASH_LOOKUP_FULL, Category.BUCKETS)
+            return self._conn_map.get(key)
+        costs = self.rt.costs
+        self.charge(costs.percpu_array_lookup + costs.null_check, Category.FRAMEWORK)
+        self.charge(costs.hash_crc_hw + costs.kfunc_call, Category.MULTIHASH)
+        index = self._conn_cuckoo.index1(key)
+        self._simd.find(
+            self._conn_cuckoo.bucket_signatures(index),
+            self._conn_cuckoo.signature(key),
+        )
+        self.charge(12, Category.BUCKETS)   # full-key verify
+        return self._conn_cuckoo.lookup(key)
+
+    def _conn_insert(self, key: int, real: int) -> None:
+        if not self.integrated:
+            self.charge(BPF_HASH_UPDATE_FULL, Category.BUCKETS)
+            self._conn_map[key] = real
+        else:
+            costs = self.rt.costs
+            self.charge(
+                costs.hash_crc_hw + 2 * costs.kfunc_call + 40, Category.BUCKETS
+            )
+            self._conn_cuckoo.insert(key, real)
+
+    def _bump_stats(self) -> None:
+        if not self.integrated:
+            self.charge(self.rt.costs.map_update, Category.OTHER)
+        else:
+            self.charge(STATS_PERCPU, Category.OTHER)
+
+    def process(self, packet: Packet) -> str:
+        self.charge(EXTENDED_PARSE, Category.PARSE)
+        key = packet.key_int
+        real = self._conn_lookup(key)
+        if real is None:
+            real = self._pick_real(key)
+            self._conn_insert(key, real)
+            self.new_flows += 1
+        self._bump_stats()
+        self.charge(ENCAP_COST, Category.OTHER)
+        self.forwarded += 1
+        return XdpAction.TX

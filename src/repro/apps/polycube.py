@@ -1,0 +1,113 @@
+"""Polycube-style learning bridge ([53]).
+
+pcn-bridge's hot path: source-MAC learning (filter + table update) and
+destination-MAC forwarding lookup.  The core component is the MAC
+table, a BPF hash map in the stock build and an eNetSTL blocked-cuckoo
+table in the integrated build; the learning-side "have we seen this
+source recently" check uses a Bloom-style filter, software-hashed vs
+``hash_simd_setbits``.
+"""
+
+from __future__ import annotations
+
+from ..core.algorithms.hashing import HashAlgos
+from ..core.algorithms.simd import SimdOps
+from ..datastructs.cuckoo import BlockedCuckooTable
+from ..ebpf.cost_model import Category
+from ..net.packet import Packet, XdpAction
+from .base import BPF_HASH_LOOKUP_FULL, BPF_HASH_UPDATE_FULL, BaseApp
+
+FORWARD_LOGIC = 140      # port state, VLAN tag checks, STP state,
+                         # FDB aging bookkeeping (unchanged by the swap)
+LEARN_FILTER_K = 2       # hashes in the seen-source filter
+FILTER_BITS = 1 << 12
+
+
+class PolycubeBridgeApp(BaseApp):
+    """L2 bridge: learn source MACs, forward by destination MAC."""
+
+    name = "Polycube (pcn-bridge)"
+    core_component = "MAC-table key-value query"
+
+    def __init__(self, integrated: bool, n_ports: int = 8, seed: int = 0) -> None:
+        super().__init__(integrated, seed)
+        self.n_ports = n_ports
+        self._fdb = {}
+        self._fdb_cuckoo = BlockedCuckooTable(2048, 8)
+        self._filter_words = [0] * (FILTER_BITS // 64)
+        self.hash = HashAlgos(self.rt, Category.MULTIHASH)
+        self.simd = SimdOps(self.rt, Category.BUCKETS)
+        self.flooded = 0
+        self.forwarded = 0
+
+    @staticmethod
+    def _src_mac(packet: Packet) -> int:
+        # The synthetic traffic has no MACs; derive stable pseudo-MACs.
+        return packet.src_ip | (packet.src_port << 32)
+
+    @staticmethod
+    def _dst_mac(packet: Packet) -> int:
+        return packet.dst_ip | (packet.dst_port << 32)
+
+    def _learn(self, mac: int, port: int) -> None:
+        if not self.integrated:
+            for seed in range(LEARN_FILTER_K):
+                self.charge(self.rt.costs.hash_scalar, Category.MULTIHASH)
+            self.charge(8, Category.BITOPS)
+            known = self._filter_test_set(mac)
+            if not known:
+                self.charge(BPF_HASH_UPDATE_FULL, Category.BUCKETS)
+                self._fdb[mac] = port
+        else:
+            self.charge(
+                self.rt.costs.hash_simd_setup
+                + self.rt.costs.hash_simd_lane * LEARN_FILTER_K
+                + self.rt.costs.kfunc_call,
+                Category.MULTIHASH,
+            )
+            self.charge(4, Category.BITOPS)
+            known = self._filter_test_set(mac)
+            if not known:
+                self.charge(
+                    self.rt.costs.hash_crc_hw + 2 * self.rt.costs.kfunc_call + 40,
+                    Category.BUCKETS,
+                )
+                self._fdb_cuckoo.insert(mac, port)
+
+    def _filter_test_set(self, mac: int) -> bool:
+        from ..core.algorithms.hashing import fast_hash32
+
+        known = True
+        for seed in range(LEARN_FILTER_K):
+            bit = fast_hash32(mac, 300 + seed) % FILTER_BITS
+            word, off = bit // 64, bit % 64
+            if not self._filter_words[word] >> off & 1:
+                known = False
+                self._filter_words[word] |= 1 << off
+        return known
+
+    def _fdb_lookup(self, mac: int):
+        if not self.integrated:
+            self.charge(BPF_HASH_LOOKUP_FULL, Category.BUCKETS)
+            return self._fdb.get(mac)
+        costs = self.rt.costs
+        self.charge(costs.percpu_array_lookup + costs.null_check, Category.FRAMEWORK)
+        self.charge(costs.hash_crc_hw + costs.kfunc_call, Category.MULTIHASH)
+        index = self._fdb_cuckoo.index1(mac)
+        self.simd.find(
+            self._fdb_cuckoo.bucket_signatures(index),
+            self._fdb_cuckoo.signature(mac),
+        )
+        self.charge(12, Category.BUCKETS)
+        return self._fdb_cuckoo.lookup(mac)
+
+    def process(self, packet: Packet) -> str:
+        in_port = packet.src_port % self.n_ports
+        self._learn(self._src_mac(packet), in_port)
+        out_port = self._fdb_lookup(self._dst_mac(packet))
+        self.charge(FORWARD_LOGIC, Category.OTHER)
+        if out_port is None:
+            self.flooded += 1
+            return XdpAction.PASS   # flood via the kernel path
+        self.forwarded += 1
+        return XdpAction.REDIRECT

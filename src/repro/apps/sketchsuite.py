@@ -1,0 +1,102 @@
+"""eBPF-sketch measurement suite ([52]).
+
+Models the open-source eBPF sketching pipeline: per packet, a count-min
+update (5 rows) feeding a heavy-hitter heap, plus a NitroSketch-style
+sampled UnivMon layer.  The core components swapped in the integration
+are the multi-hash updates (``hash_simd_cnt``) and the per-packet
+randomness (``geo_rpool``).
+"""
+
+from __future__ import annotations
+
+from ..core.algorithms.hashing import HashAlgos, fast_hash32
+from ..core.structures.random_pool import GeoRandomPool
+from ..datastructs.heap import TopKHeap
+from ..ebpf.cost_model import Category
+from ..net.packet import Packet, XdpAction
+from .base import BaseApp
+
+CM_DEPTH = 5
+CM_WIDTH = 2048
+UNIV_PROB = 0.25
+HEAP_AMORTIZED = 12
+#: The suite is a chain of tail-called programs (parse -> sketch ->
+#: heavy-hitter -> export): tail calls, the secondary parse, the
+#: flow-state LRU map, and the epoch/export checks are untouched by the
+#: integration and charged identically in both builds.
+PIPELINE_COMMON = 700
+
+
+class SketchSuiteApp(BaseApp):
+    """Flow measurement: CM + top-k heap + sampled second layer."""
+
+    name = "eBPF sketches"
+    core_component = "multi-hash sketch update + per-packet randomness"
+
+    def __init__(self, integrated: bool, seed: int = 0) -> None:
+        super().__init__(integrated, seed)
+        self.rows = [[0] * CM_WIDTH for _ in range(CM_DEPTH)]
+        self.univ_rows = [[0] * CM_WIDTH for _ in range(2)]
+        self.heap = TopKHeap(64)
+        self.hash = HashAlgos(self.rt, Category.MULTIHASH)
+        self.pool = (
+            GeoRandomPool(self.rt, UNIV_PROB, category=Category.RANDOM)
+            if integrated
+            else None
+        )
+        self._countdown = self.pool.draw() if integrated else 0
+        self.processed = 0
+
+    def _cm_update(self, key: int) -> int:
+        costs = self.rt.costs
+        if not self.integrated:
+            self.charge(costs.map_lookup, Category.FRAMEWORK)
+            estimate = None
+            for row in range(CM_DEPTH):
+                self.charge(costs.hash_scalar + costs.counter_update,
+                            Category.MULTIHASH)
+                col = fast_hash32(key, row) % CM_WIDTH
+                self.rows[row][col] += 1
+                value = self.rows[row][col]
+                estimate = value if estimate is None else min(estimate, value)
+            return estimate
+        self.charge(costs.percpu_array_lookup + costs.null_check,
+                    Category.FRAMEWORK)
+        cols = self.hash.hash_cnt(self.rows, key, CM_DEPTH)
+        return min(self.rows[r][c] for r, c in enumerate(cols))
+
+    def _univ_sample(self, key: int) -> None:
+        costs = self.rt.costs
+        if not self.integrated:
+            draw = self.rt.prandom_u32(Category.RANDOM)
+            self.charge(4, Category.RANDOM)
+            if draw >= int(UNIV_PROB * (1 << 32)):
+                return
+        else:
+            self.charge(2, Category.RANDOM)
+            self._countdown -= 1
+            if self._countdown > 0:
+                return
+            self._countdown = self.pool.draw()
+        for row in range(2):
+            if not self.integrated:
+                self.charge(costs.hash_scalar + costs.counter_update,
+                            Category.MULTIHASH)
+            col = fast_hash32(key, 50 + row) % CM_WIDTH
+            self.univ_rows[row][col] += 1
+        if self.integrated:
+            self.charge(
+                costs.hash_crc_hw * 2 + costs.counter_update * 2
+                + costs.kfunc_call,
+                Category.MULTIHASH,
+            )
+
+    def process(self, packet: Packet) -> str:
+        self.charge(PIPELINE_COMMON, Category.OTHER)
+        key = packet.key_int
+        estimate = self._cm_update(key)
+        self.charge(HEAP_AMORTIZED, Category.FUNDAMENTAL_DS)
+        self.heap.offer(key, estimate)
+        self._univ_sample(key)
+        self.processed += 1
+        return XdpAction.DROP

@@ -1,0 +1,18 @@
+"""eNetSTL algorithm families: bit manipulation, hashing, SIMD compare/reduce."""
+
+from .bitops import BitOps, soft_ffs, soft_fls, soft_popcnt
+from .hashing import HashAlgos, crc_hash32, fast_hash32, fast_hash64
+from .simd import LANES, SimdOps
+
+__all__ = [
+    "BitOps",
+    "soft_ffs",
+    "soft_fls",
+    "soft_popcnt",
+    "HashAlgos",
+    "crc_hash32",
+    "fast_hash32",
+    "fast_hash64",
+    "LANES",
+    "SimdOps",
+]

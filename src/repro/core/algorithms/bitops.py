@@ -1,0 +1,76 @@
+"""Bit-manipulation algorithms (§4.3, "Algorithms: bit manipulation").
+
+eNetSTL encapsulates individual hardware bit instructions (FFS, FLS,
+POPCNT) as kfuncs.  This is the one place a low-level interface is
+fine: inputs and outputs are single u64 values that travel in
+registers, so no memory copies are needed.
+
+The eBPF baseline lacks these instructions entirely (P2) and must use
+software loops; the cost model charges accordingly.
+"""
+
+from __future__ import annotations
+
+from ...ebpf.cost_model import Category, ExecMode
+from ...ebpf.runtime import BpfRuntime
+
+U64_MASK = (1 << 64) - 1
+
+
+def soft_ffs(x: int) -> int:
+    """Software find-first-set (1-based; 0 when no bit set)."""
+    x &= U64_MASK
+    if x == 0:
+        return 0
+    return (x & -x).bit_length()
+
+
+def soft_fls(x: int) -> int:
+    """Software find-last-set (1-based; 0 when no bit set)."""
+    return (x & U64_MASK).bit_length()
+
+
+def soft_popcnt(x: int) -> int:
+    """Software population count."""
+    return bin(x & U64_MASK).count("1")
+
+
+class BitOps:
+    """Cost-charged bit instructions bound to a runtime."""
+
+    def __init__(
+        self, rt: BpfRuntime, category: Category = Category.BITOPS
+    ) -> None:
+        self.rt = rt
+        self.category = category
+
+    #: Bit kfuncs are tiny leaf functions; the JIT emits them as direct
+    #: near-calls with no stack traffic, so the crossing is ~2 cycles.
+    LEAF_CALL_COST = 2
+
+    def _charge(self, hw_cost: int, soft_cost: int) -> None:
+        if self.rt.mode == ExecMode.PURE_EBPF:
+            self.rt.charge(soft_cost, self.category)
+        elif self.rt.mode == ExecMode.ENETSTL:
+            self.rt.charge(hw_cost + self.LEAF_CALL_COST, self.category)
+        else:  # KERNEL
+            self.rt.charge(hw_cost, self.category)
+
+    def ffs(self, x: int) -> int:
+        """Find first (least-significant) set bit; 1-based, 0 if none.
+
+        Three CPU cycles on hardware (TZCNT) — the instruction Eiffel's
+        cFFS queue leans on for O(n/64) priority lookup.
+        """
+        self._charge(self.rt.costs.ffs_hw, self.rt.costs.ffs_soft)
+        return soft_ffs(x)
+
+    def fls(self, x: int) -> int:
+        """Find last (most-significant) set bit; 1-based, 0 if none."""
+        self._charge(self.rt.costs.ffs_hw, self.rt.costs.ffs_soft)
+        return soft_fls(x)
+
+    def popcnt(self, x: int) -> int:
+        """Count set bits."""
+        self._charge(self.rt.costs.popcnt_hw, self.rt.costs.popcnt_soft)
+        return soft_popcnt(x)

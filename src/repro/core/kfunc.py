@@ -1,0 +1,202 @@
+"""eNetSTL's kfunc surface: every library API with verifier metadata.
+
+The library is exposed to eBPF as kfuncs; safety of the *interaction*
+(§4.4) rests on the metadata registered here — acquire/release pairing
+for the memory wrapper and data-structure instances, maybe-NULL returns
+forcing null checks, constant-argument annotations for sizes.
+
+:func:`enetstl_registry` returns a :class:`KfuncRegistry` preloaded
+with the baseline helpers plus the full eNetSTL API; the verifier tests
+validate example programs (including the paper's Listing 3) against it.
+"""
+
+from __future__ import annotations
+
+from ..ebpf.kfunc_meta import (
+    ARG_CONST,
+    ARG_KPTR,
+    ARG_PTR,
+    ARG_SCALAR,
+    KF_ACQUIRE,
+    KF_RELEASE,
+    KF_RET_NULL,
+    KfuncRegistry,
+    RET_KPTR,
+    RET_SCALAR,
+    RET_VOID,
+    default_registry,
+)
+
+#: Program types eNetSTL kfuncs are exposed to (XDP and TC datapaths).
+NF_PROG_TYPES = ("xdp", "tc")
+
+
+def enetstl_registry() -> KfuncRegistry:
+    """Baseline helpers + the complete eNetSTL kfunc API."""
+    reg = default_registry()
+
+    # -- memory wrapper (§4.2) -----------------------------------------
+    reg.define(
+        "node_alloc",
+        args=(ARG_CONST, ARG_CONST, ARG_CONST),  # n_outs, n_ins, data size
+        ret=RET_KPTR,
+        flags=(KF_ACQUIRE, KF_RET_NULL),
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "set_owner",
+        args=(ARG_PTR, ARG_KPTR),  # proxy (map value), node
+        ret=RET_VOID,
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "unset_owner",
+        args=(ARG_PTR, ARG_KPTR),
+        ret=RET_VOID,
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "node_connect",
+        args=(ARG_KPTR, ARG_CONST, ARG_KPTR, ARG_CONST),
+        ret=RET_VOID,
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "node_disconnect",
+        args=(ARG_KPTR, ARG_CONST),
+        ret=RET_VOID,
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "get_next",
+        args=(ARG_KPTR, ARG_CONST),
+        ret=RET_KPTR,
+        flags=(KF_ACQUIRE, KF_RET_NULL),
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "node_release",
+        args=(ARG_KPTR,),
+        ret=RET_VOID,
+        flags=(KF_RELEASE,),
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "node_write",
+        args=(ARG_KPTR, ARG_CONST, ARG_PTR, ARG_CONST),
+        ret=RET_VOID,
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "node_read",
+        args=(ARG_KPTR, ARG_CONST, ARG_PTR, ARG_CONST),
+        ret=RET_VOID,
+        prog_types=NF_PROG_TYPES,
+    )
+
+    # -- bit-manipulation algorithms --------------------------------------
+    reg.define("bpf_ffs64", args=(ARG_SCALAR,), prog_types=NF_PROG_TYPES)
+    reg.define("bpf_fls64", args=(ARG_SCALAR,), prog_types=NF_PROG_TYPES)
+    reg.define("bpf_popcnt64", args=(ARG_SCALAR,), prog_types=NF_PROG_TYPES)
+
+    # -- parallel compare / reduce -----------------------------------------
+    reg.define(
+        "find_simd",
+        args=(ARG_PTR, ARG_CONST, ARG_SCALAR),  # arr, len, key
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "reduce_min_simd", args=(ARG_PTR, ARG_CONST), prog_types=NF_PROG_TYPES
+    )
+    reg.define(
+        "reduce_max_simd", args=(ARG_PTR, ARG_CONST), prog_types=NF_PROG_TYPES
+    )
+
+    # -- hashing + unified post-hash operations --------------------------------
+    reg.define(
+        "hw_hash_crc", args=(ARG_PTR, ARG_CONST, ARG_SCALAR), prog_types=NF_PROG_TYPES
+    )
+    reg.define(
+        "hash_simd_cnt",
+        args=(ARG_PTR, ARG_CONST, ARG_PTR, ARG_CONST, ARG_SCALAR),
+        ret=RET_VOID,
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "hash_simd_min_read",
+        args=(ARG_PTR, ARG_CONST, ARG_PTR, ARG_CONST),
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "hash_simd_setbits",
+        args=(ARG_PTR, ARG_CONST, ARG_PTR, ARG_CONST),
+        ret=RET_VOID,
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "hash_simd_cmp",
+        args=(ARG_PTR, ARG_CONST, ARG_PTR, ARG_CONST, ARG_SCALAR),
+        prog_types=NF_PROG_TYPES,
+    )
+
+    # -- list-buckets --------------------------------------------------------
+    reg.define(
+        "bktlist_alloc",
+        args=(ARG_CONST,),
+        ret=RET_KPTR,
+        flags=(KF_ACQUIRE, KF_RET_NULL),
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "bktlist_destroy",
+        args=(ARG_KPTR,),
+        ret=RET_VOID,
+        flags=(KF_RELEASE,),
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "bktlist_insert_front",
+        args=(ARG_KPTR, ARG_SCALAR, ARG_PTR, ARG_CONST),
+        ret=RET_SCALAR,
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "bktlist_pop_front",
+        args=(ARG_KPTR, ARG_SCALAR, ARG_PTR, ARG_CONST),
+        ret=RET_SCALAR,
+        prog_types=NF_PROG_TYPES,
+    )
+
+    # -- random pools -----------------------------------------------------------
+    reg.define(
+        "rpool_alloc",
+        args=(ARG_CONST,),
+        ret=RET_KPTR,
+        flags=(KF_ACQUIRE, KF_RET_NULL),
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "rpool_destroy",
+        args=(ARG_KPTR,),
+        ret=RET_VOID,
+        flags=(KF_RELEASE,),
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define("rpool_draw", args=(ARG_KPTR,), prog_types=NF_PROG_TYPES)
+    reg.define(
+        "geo_rpool_alloc",
+        args=(ARG_CONST, ARG_CONST),
+        ret=RET_KPTR,
+        flags=(KF_ACQUIRE, KF_RET_NULL),
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define(
+        "geo_rpool_destroy",
+        args=(ARG_KPTR,),
+        ret=RET_VOID,
+        flags=(KF_RELEASE,),
+        prog_types=NF_PROG_TYPES,
+    )
+    reg.define("geo_rpool_draw", args=(ARG_KPTR,), prog_types=NF_PROG_TYPES)
+
+    return reg

@@ -1,0 +1,7 @@
+"""Memory wrapper: proxy-based ownership + lazy safety checking (§4.2)."""
+
+from .node import Node
+from .proxy import NodeProxy
+from .wrapper import EAGER, LAZY, MemoryWrapper, WrapperStats
+
+__all__ = ["Node", "NodeProxy", "MemoryWrapper", "WrapperStats", "LAZY", "EAGER"]

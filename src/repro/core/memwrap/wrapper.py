@@ -1,0 +1,247 @@
+"""The eNetSTL memory wrapper (§4.2): proxy ownership + lazy checking.
+
+The wrapper is the set of kfuncs an eBPF program uses to build data
+structures over non-contiguous memory: ``node_alloc``, ``set_owner`` /
+``unset_owner``, ``node_connect`` / ``node_disconnect``, ``get_next``,
+``node_release``, ``node_read`` / ``node_write``.
+
+Two design points from the paper are modeled exactly:
+
+- **Proxy-based ownership**: allocations are adopted by a
+  :class:`~repro.core.memwrap.proxy.NodeProxy` persisted in a BPF map,
+  so a *variable* number of memories can outlive a program run.
+- **Lazy safety checking**: ``get_next`` performs *zero* validity
+  checks.  Instead, relationships recorded at ``node_connect`` time are
+  used at free time to NULL every pointer aimed at the dying node, so a
+  dangling pointer is never observable.  The alternative ("eager")
+  strategy — validating each traversal against a table of live
+  relationships — is also implemented, for the §6.2 ablation.
+
+Cost accounting follows the runtime's execution mode: eNetSTL charges
+kfunc-call and refcount costs on traversal; the kernel baseline charges
+a bare pointer dereference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...ebpf.cost_model import Category
+from ...ebpf.runtime import BpfRuntime
+from ..errors import (
+    AllocationError,
+    DoubleFreeError,
+    InvalidSlotError,
+    UseAfterFreeError,
+)
+from .node import Node
+from .proxy import NodeProxy
+
+LAZY = "lazy"
+EAGER = "eager"
+
+
+class MemoryWrapper:
+    """Kfunc-level API for non-contiguous memory in eBPF programs."""
+
+    def __init__(
+        self,
+        rt: BpfRuntime,
+        checking: str = LAZY,
+        category: Category = Category.NONCONTIG,
+    ) -> None:
+        if checking not in (LAZY, EAGER):
+            raise ValueError(f"unknown checking strategy {checking!r}")
+        self.rt = rt
+        self.checking = checking
+        self.category = category
+        self._fail_next_alloc = False   # fault injection for tests
+        self.stats = WrapperStats()
+
+    # -- fault injection ---------------------------------------------------
+
+    def fail_next_alloc(self) -> None:
+        """Make the next ``node_alloc`` return None (kmalloc failure)."""
+        self._fail_next_alloc = True
+
+    # -- allocation / ownership ---------------------------------------------
+
+    def node_alloc(
+        self, n_outs: int, n_ins: int, data_size: int = 0
+    ) -> Optional[Node]:
+        """Allocate a node; returns None on allocation failure.
+
+        The kfunc is annotated ``KF_ACQUIRE | KF_RET_NULL``: the caller
+        owns the returned reference and must null-check it.
+        """
+        costs = self.rt.costs
+        self.rt.charge(
+            costs.kmalloc if self.rt.mode.value == "kernel" else costs.node_alloc,
+            self.category,
+        )
+        if self._fail_next_alloc:
+            self._fail_next_alloc = False
+            return None
+        self.stats.allocs += 1
+        return Node(n_outs, n_ins, data_size)
+
+    def set_owner(self, proxy: NodeProxy, node: Node) -> None:
+        """Transfer ownership of ``node`` to ``proxy``."""
+        self.rt.charge(self.rt.costs.kfunc_call, self.category)
+        proxy.adopt(node)
+
+    def unset_owner(self, proxy: NodeProxy, node: Node) -> None:
+        """Detach ``node`` from ``proxy``; frees it if unreferenced."""
+        self.rt.charge(self.rt.costs.kfunc_call, self.category)
+        proxy.disown(node)
+        if node.refcount == 0:
+            self._free(node)
+
+    # -- relationships --------------------------------------------------------
+
+    def node_connect(self, src: Node, out_idx: int, dst: Node, in_idx: int = 0) -> None:
+        """``src->outs[out_idx] = dst`` and record the reverse edge.
+
+        The wrapper is necessary because the verifier does not allow
+        direct writes to memory returned from kernel functions; the
+        recorded reverse edge is what lazy checking consumes at free
+        time.
+        """
+        costs = self.rt.costs
+        self.rt.charge(
+            costs.node_connect_kernel
+            if self.rt.mode.value == "kernel"
+            else costs.node_connect,
+            self.category,
+        )
+        src.check_alive()
+        dst.check_alive()
+        src.check_out_slot(out_idx)
+        old = src.outs[out_idx]
+        if old is not None:
+            old.remove_in_edge(src, out_idx)
+        src.outs[out_idx] = dst
+        dst.add_in_edge(src, out_idx)
+        self.stats.connects += 1
+
+    def node_disconnect(self, src: Node, out_idx: int) -> None:
+        """``src->outs[out_idx] = NULL``."""
+        self.rt.charge(self._disconnect_cost(), self.category)
+        src.check_alive()
+        src.check_out_slot(out_idx)
+        old = src.outs[out_idx]
+        if old is not None:
+            old.remove_in_edge(src, out_idx)
+            src.outs[out_idx] = None
+
+    def get_next(self, node: Node, out_idx: int) -> Optional[Node]:
+        """Follow ``node->outs[out_idx]``; returns a new reference.
+
+        With lazy checking this is the hot path and performs no
+        validity lookup: the invariant maintained at free time is that
+        every out slot is either NULL or points at a live node.  With
+        eager checking it additionally probes the (conceptual)
+        relationship hash table — the §6.2 ablation quantifies that
+        cost.
+        """
+        costs = self.rt.costs
+        if self.rt.mode.value == "kernel":
+            self.rt.charge(costs.get_next_kernel + costs.node_read, self.category)
+        else:
+            self.rt.charge(costs.get_next_kfunc + costs.node_read, self.category)
+            self.rt.charge(costs.null_check, self.category)
+        if self.checking == EAGER:
+            self.rt.charge(costs.eager_check, self.category)
+        node.check_alive()
+        node.check_out_slot(out_idx)
+        nxt = node.outs[out_idx]
+        if nxt is None:
+            return None
+        nxt.check_alive()   # unreachable when the lazy invariant holds
+        nxt.refcount += 1
+        self.stats.traversals += 1
+        return nxt
+
+    # -- release / free ----------------------------------------------------------
+
+    def node_release(self, node: Node) -> None:
+        """Return one reference; frees the node when fully released.
+
+        A node is freed only when its refcount reaches zero *and* no
+        proxy owns it.  ``KF_RELEASE``-annotated, so the verifier pairs
+        it with ``node_alloc`` / ``get_next``.
+        """
+        costs = self.rt.costs
+        self.rt.charge(
+            costs.node_release_kernel
+            if self.rt.mode.value == "kernel"
+            else costs.node_release,
+            self.category,
+        )
+        node.check_alive()
+        if node.refcount <= 0:
+            raise DoubleFreeError(f"node #{node.node_id} released too many times")
+        node.refcount -= 1
+        if node.refcount == 0 and node.owner is None:
+            self._free(node)
+
+    def _free(self, node: Node) -> None:
+        """Actually free: lazy teardown of every recorded relationship.
+
+        For each in-edge ``(src, out_idx)`` the recorded reverse index
+        tells us ``src->outs[out_idx]`` aims here; NULL it.  For each of
+        our own out-edges, drop the reverse entry at the target.  After
+        this, no live pointer references the dead node.
+        """
+        for src, out_idx in node.in_edges():
+            if src.alive and src.outs[out_idx] is node:
+                src.outs[out_idx] = None
+            self.rt.charge(self._disconnect_cost(), self.category)
+        for out_idx, dst in enumerate(node.outs):
+            if dst is not None:
+                dst.remove_in_edge(node, out_idx)
+                node.outs[out_idx] = None
+        node.free_now()
+        self.stats.frees += 1
+        self.rt.charge(
+            self.rt.costs.kfree
+            if self.rt.mode.value == "kernel"
+            else self.rt.costs.bpf_obj_free,
+            self.category,
+        )
+
+    def _disconnect_cost(self) -> int:
+        costs = self.rt.costs
+        if self.rt.mode.value == "kernel":
+            return costs.node_disconnect_kernel
+        return costs.node_disconnect
+
+    # -- payload access -----------------------------------------------------------
+
+    def node_read(self, node: Node, off: int, size: int) -> bytes:
+        self.rt.charge(
+            self.rt.costs.kfunc_call
+            + self.rt.costs.mem_copy_per_16b * ((size + 15) // 16),
+            self.category,
+        )
+        return node.read(off, size)
+
+    def node_write(self, node: Node, off: int, payload: bytes) -> None:
+        self.rt.charge(
+            self.rt.costs.kfunc_call
+            + self.rt.costs.mem_copy_per_16b * ((len(payload) + 15) // 16),
+            self.category,
+        )
+        node.write(off, payload)
+
+
+class WrapperStats:
+    """Operation counters (used by tests and the ablation bench)."""
+
+    __slots__ = ("allocs", "frees", "connects", "traversals")
+
+    def __init__(self) -> None:
+        self.allocs = 0
+        self.frees = 0
+        self.connects = 0
+        self.traversals = 0

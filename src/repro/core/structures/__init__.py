@@ -1,0 +1,6 @@
+"""eNetSTL data structures: list-buckets and random pools."""
+
+from .list_buckets import ListBuckets
+from .random_pool import GeoRandomPool, RandomPool
+
+__all__ = ["ListBuckets", "GeoRandomPool", "RandomPool"]

@@ -1,0 +1,39 @@
+"""Pure algorithm kernels shared by the NF variants.
+
+Everything here is functional (no cost accounting): skip list, blocked
+cuckoo hash, cuckoo filter, Bloom / vector Bloom filters, count-min,
+HeavyKeeper, top-k heap, timing wheel, cFFS priority queue, tuple-space
+classifier, EFD table.
+"""
+
+from .bloom import BloomFilter, VectorBloomFilter
+from .cffs import CFFSQueue, FANOUT
+from .countmin import CountMinSketch
+from .cuckoo import BlockedCuckooTable
+from .cuckoo_filter import CuckooFilter
+from .efd import EfdTable
+from .heap import TopKHeap
+from .heavykeeper import HeavyKeeper
+from .skiplist import MAX_HEIGHT, SkipList
+from .timewheel import PlainBuckets, TimingWheel
+from .tss import MaskTuple, Rule, TupleSpaceClassifier
+
+__all__ = [
+    "BloomFilter",
+    "VectorBloomFilter",
+    "CFFSQueue",
+    "FANOUT",
+    "CountMinSketch",
+    "BlockedCuckooTable",
+    "CuckooFilter",
+    "EfdTable",
+    "TopKHeap",
+    "HeavyKeeper",
+    "MAX_HEIGHT",
+    "SkipList",
+    "PlainBuckets",
+    "TimingWheel",
+    "MaskTuple",
+    "Rule",
+    "TupleSpaceClassifier",
+]

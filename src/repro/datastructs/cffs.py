@@ -1,0 +1,95 @@
+"""cFFS: Eiffel's bitmap-based priority queue ([64]).
+
+A hierarchy of 64-ary bitmaps over FIFO buckets gives O(levels)
+find-min: each level's word encodes which children are non-empty, and a
+find-first-set locates the lowest busy child.  With hardware FFS this
+is three cycles per level; software FFS (the eBPF situation) pays a
+branchy loop per level — exactly the gap Fig. 3(h) sweeps.
+
+``ffs`` is injected so NF variants can charge hardware or software
+costs; the default is the uncosted software routine.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..core.algorithms.bitops import soft_ffs
+
+FANOUT = 64
+
+
+class CFFSQueue:
+    """Priority queue over ``FANOUT ** levels`` distinct priorities."""
+
+    def __init__(
+        self, levels: int = 2, ffs: Callable[[int], int] = soft_ffs
+    ) -> None:
+        if not 1 <= levels <= 4:
+            raise ValueError("levels must be in [1, 4]")
+        self.levels = levels
+        self.n_priorities = FANOUT ** levels
+        self._ffs = ffs
+        # bitmaps[l] has FANOUT**l words; word w's bit b says child
+        # (w * FANOUT + b) at level l+1 (or bucket, at the last level)
+        # is non-empty.
+        self._bitmaps: List[List[int]] = [
+            [0] * (FANOUT ** level) for level in range(levels)
+        ]
+        self._buckets: Dict[int, Deque[Any]] = {}
+        self._len = 0
+
+    def enqueue(self, priority: int, item: Any) -> None:
+        if not 0 <= priority < self.n_priorities:
+            raise ValueError(
+                f"priority {priority} out of range (max {self.n_priorities - 1})"
+            )
+        self._buckets.setdefault(priority, deque()).append(item)
+        index = priority
+        for level in range(self.levels - 1, -1, -1):
+            word, bit = index // FANOUT, index % FANOUT
+            self._bitmaps[level][word] |= 1 << bit
+            index = word
+        self._len += 1
+
+    def peek_min_priority(self) -> Optional[int]:
+        """Lowest non-empty priority via one FFS per level."""
+        if self._len == 0:
+            return None
+        index = 0
+        for level in range(self.levels):
+            word = self._bitmaps[level][index]
+            bit = self._ffs(word)
+            if bit == 0:
+                raise AssertionError("bitmap hierarchy out of sync")
+            index = index * FANOUT + (bit - 1)
+        return index
+
+    def dequeue_min(self) -> Optional[Tuple[int, Any]]:
+        """(priority, item) with the lowest priority; None when empty."""
+        priority = self.peek_min_priority()
+        if priority is None:
+            return None
+        bucket = self._buckets[priority]
+        item = bucket.popleft()
+        if not bucket:
+            del self._buckets[priority]
+            self._clear_path(priority)
+        self._len -= 1
+        return priority, item
+
+    def _clear_path(self, priority: int) -> None:
+        index = priority
+        for level in range(self.levels - 1, -1, -1):
+            word, bit = index // FANOUT, index % FANOUT
+            self._bitmaps[level][word] &= ~(1 << bit)
+            if self._bitmaps[level][word]:
+                break   # an ancestor still has other busy children
+            index = word
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0

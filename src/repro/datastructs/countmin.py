@@ -1,0 +1,51 @@
+"""Count-min sketch matrix ([15]).
+
+The d x w counter matrix shared by the sketching NFs.  Pure
+functionality; the NF variants drive updates through the cost-charged
+hash kfuncs, but tests (and accuracy experiments) use this directly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.algorithms.hashing import fast_hash32
+
+
+class CountMinSketch:
+    """Count-min: point updates, min-estimate queries."""
+
+    def __init__(self, depth: int = 4, width: int = 2048) -> None:
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.depth = depth
+        self.width = width
+        self.rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    def _col(self, row: int, key: int) -> int:
+        return fast_hash32(key, row) % self.width
+
+    def update(self, key: int, delta: int = 1) -> None:
+        for row in range(self.depth):
+            self.rows[row][self._col(row, key)] += delta
+        self.total += delta
+
+    def estimate(self, key: int) -> int:
+        return min(self.rows[row][self._col(row, key)] for row in range(self.depth))
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Add another sketch with identical dimensions into this one."""
+        if (other.depth, other.width) != (self.depth, self.width):
+            raise ValueError("sketch dimensions differ")
+        for row in range(self.depth):
+            mine, theirs = self.rows[row], other.rows[row]
+            for col in range(self.width):
+                mine[col] += theirs[col]
+        self.total += other.total
+
+    def error_bound(self, confidence_rows: int = None) -> float:
+        """Classic CM bound: err <= e/width * total with prob 1-e^-depth."""
+        return 2.718281828 / self.width * self.total

@@ -1,0 +1,92 @@
+"""Elastic Flow Distributor (DPDK's EFD load-balancing library, [20]).
+
+EFD maps flow keys to small target values (backend ids) *without
+storing the keys*: flows hash into groups, and each group searches for
+a hash-function index (a "perfect hash" seed) under which every member
+key hashes to its assigned target.  Lookup is then just two hashes —
+group hash + seeded value hash — independent of group size.
+
+Insertion may need to re-search the group seed (the "elastic" part);
+when no seed satisfies the group within the search bound, the group is
+reported full (real EFD rebalances; our workloads size groups to
+avoid this, and the failure path is exercised by tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.algorithms.hashing import crc_hash32, fast_hash32
+
+DEFAULT_SEED_SEARCH_BOUND = 1 << 16
+
+
+class EfdTable:
+    """Flow -> target mapping via per-group perfect-hash seeds."""
+
+    def __init__(
+        self,
+        n_groups: int = 256,
+        n_targets: int = 4,
+        seed_search_bound: int = DEFAULT_SEED_SEARCH_BOUND,
+    ) -> None:
+        if n_groups <= 0 or n_groups & (n_groups - 1):
+            raise ValueError("n_groups must be a positive power of two")
+        if not 2 <= n_targets <= 256:
+            raise ValueError("n_targets must be in [2, 256]")
+        if seed_search_bound <= 0:
+            raise ValueError("seed_search_bound must be positive")
+        self.n_groups = n_groups
+        self.n_targets = n_targets
+        self.seed_search_bound = seed_search_bound
+        self._group_seed: List[int] = [0] * n_groups
+        self._group_members: List[Dict[int, int]] = [dict() for _ in range(n_groups)]
+
+    def group_of(self, key: int) -> int:
+        return crc_hash32(key, 5) & (self.n_groups - 1)
+
+    def _value_hash(self, key: int, seed: int) -> int:
+        return fast_hash32(key, 0x1000 + seed) % self.n_targets
+
+    def _find_seed(self, members: Dict[int, int]) -> Optional[int]:
+        for seed in range(self.seed_search_bound):
+            if all(self._value_hash(k, seed) == t for k, t in members.items()):
+                return seed
+        return None
+
+    def insert(self, key: int, target: int) -> bool:
+        """Bind ``key`` to ``target``; False when the group is saturated."""
+        if not 0 <= target < self.n_targets:
+            raise ValueError(f"target {target} out of range")
+        group = self.group_of(key)
+        members = dict(self._group_members[group])
+        members[key] = target
+        seed = self._find_seed(members)
+        if seed is None:
+            return False
+        self._group_members[group] = members
+        self._group_seed[group] = seed
+        return True
+
+    def delete(self, key: int) -> bool:
+        group = self.group_of(key)
+        if key not in self._group_members[group]:
+            return False
+        del self._group_members[group][key]
+        return True
+
+    def lookup(self, key: int) -> int:
+        """Target for ``key`` — two hashes, no key storage consulted.
+
+        Like real EFD, unknown keys still return *some* target (the
+        whole point: the structure stores no membership information).
+        """
+        group = self.group_of(key)
+        return self._value_hash(key, self._group_seed[group])
+
+    def group_size(self, group: int) -> int:
+        return len(self._group_members[group])
+
+    @property
+    def n_flows(self) -> int:
+        return sum(len(m) for m in self._group_members)

@@ -1,0 +1,109 @@
+"""Counter-based min-heap (the sketches' elephant-flow fast path, [35, 80]).
+
+A fixed-capacity min-heap of (count, key) pairs with an index for O(1)
+membership — the structure SketchVisor/ElasticSketch use to keep the
+current top-k flows cheap to maintain.  ``offer`` implements the usual
+"replace the minimum when the newcomer outgrows it" policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class TopKHeap:
+    """Bounded min-heap over integer keys with positional index."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._heap: List[Tuple[int, int]] = []   # (count, key)
+        self._pos: Dict[int, int] = {}           # key -> heap index
+
+    # -- internals -----------------------------------------------------------
+
+    def _swap(self, i: int, j: int) -> None:
+        self._heap[i], self._heap[j] = self._heap[j], self._heap[i]
+        self._pos[self._heap[i][1]] = i
+        self._pos[self._heap[j][1]] = j
+
+    def _sift_up(self, i: int) -> None:
+        while i > 0:
+            parent = (i - 1) // 2
+            if self._heap[parent][0] <= self._heap[i][0]:
+                break
+            self._swap(i, parent)
+            i = parent
+
+    def _sift_down(self, i: int) -> None:
+        n = len(self._heap)
+        while True:
+            left, right = 2 * i + 1, 2 * i + 2
+            smallest = i
+            if left < n and self._heap[left][0] < self._heap[smallest][0]:
+                smallest = left
+            if right < n and self._heap[right][0] < self._heap[smallest][0]:
+                smallest = right
+            if smallest == i:
+                return
+            self._swap(i, smallest)
+            i = smallest
+
+    # -- operations -------------------------------------------------------------
+
+    def count_of(self, key: int) -> Optional[int]:
+        i = self._pos.get(key)
+        return self._heap[i][0] if i is not None else None
+
+    def increment(self, key: int, delta: int = 1) -> bool:
+        """Bump an existing key's count; False if the key is absent."""
+        i = self._pos.get(key)
+        if i is None:
+            return False
+        count, _ = self._heap[i]
+        self._heap[i] = (count + delta, key)
+        self._sift_down(i)
+        return True
+
+    def offer(self, key: int, count: int) -> bool:
+        """Admit ``key`` with ``count`` if it beats the current minimum.
+
+        Returns True when the key is (now) tracked.
+        """
+        if key in self._pos:
+            i = self._pos[key]
+            if count > self._heap[i][0]:
+                self._heap[i] = (count, key)
+                self._sift_down(i)
+            return True
+        if len(self._heap) < self.capacity:
+            self._heap.append((count, key))
+            self._pos[key] = len(self._heap) - 1
+            self._sift_up(len(self._heap) - 1)
+            return True
+        if count <= self._heap[0][0]:
+            return False
+        evicted = self._heap[0][1]
+        del self._pos[evicted]
+        self._heap[0] = (count, key)
+        self._pos[key] = 0
+        self._sift_down(0)
+        return True
+
+    def min(self) -> Optional[Tuple[int, int]]:
+        """(count, key) of the minimum, or None when empty."""
+        return self._heap[0] if self._heap else None
+
+    def topk(self) -> List[Tuple[int, int]]:
+        """All tracked (count, key), descending by count."""
+        return sorted(self._heap, reverse=True)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._pos
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._heap)

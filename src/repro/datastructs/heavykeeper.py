@@ -1,0 +1,96 @@
+"""HeavyKeeper top-k counter ([81]).
+
+``d`` rows of (fingerprint, count) buckets with *count-with-exponential-
+decay*: a colliding flow decays the incumbent's counter with probability
+``b^-count``, so elephants are kept and mice washed out.  A bounded
+min-heap tracks the current top-k.
+
+Randomness is injected (``rand`` returning a float in [0,1)) so the NF
+variants can route it through ``bpf_get_prandom_u32`` or eNetSTL's
+random pool with the right cost accounting.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Tuple
+
+from ..core.algorithms.hashing import fast_hash32
+from .heap import TopKHeap
+
+DEFAULT_DECAY_BASE = 1.08
+
+
+class HeavyKeeper:
+    """Find top-k elephant flows with small memory."""
+
+    def __init__(
+        self,
+        depth: int = 2,
+        width: int = 1024,
+        k: int = 32,
+        decay_base: float = DEFAULT_DECAY_BASE,
+        rand: Optional[Callable[[], float]] = None,
+        seed: int = 17,
+    ) -> None:
+        if depth <= 0 or width <= 0:
+            raise ValueError("depth and width must be positive")
+        if decay_base <= 1.0:
+            raise ValueError("decay_base must exceed 1.0")
+        self.depth = depth
+        self.width = width
+        self.decay_base = decay_base
+        # rows of (fingerprint, count)
+        self.rows: List[List[Tuple[int, int]]] = [
+            [(0, 0)] * width for _ in range(depth)
+        ]
+        self.heap = TopKHeap(k)
+        self._rand = rand if rand is not None else random.Random(seed).random
+
+    @staticmethod
+    def fingerprint(key: int) -> int:
+        return fast_hash32(key, 0xBEEF) or 1
+
+    def _col(self, row: int, key: int) -> int:
+        return fast_hash32(key, 101 + row) % self.width
+
+    def update(self, key: int) -> int:
+        """Process one packet of flow ``key``; returns its new estimate."""
+        fp = self.fingerprint(key)
+        best = 0
+        for row in range(self.depth):
+            col = self._col(row, key)
+            stored_fp, count = self.rows[row][col]
+            if count == 0:
+                self.rows[row][col] = (fp, 1)
+                best = max(best, 1)
+            elif stored_fp == fp:
+                count += 1
+                self.rows[row][col] = (fp, count)
+                best = max(best, count)
+            else:
+                # Exponential decay of the incumbent.
+                if self._rand() < self.decay_base ** (-count):
+                    count -= 1
+                    if count == 0:
+                        self.rows[row][col] = (fp, 1)
+                        best = max(best, 1)
+                    else:
+                        self.rows[row][col] = (stored_fp, count)
+        if best:
+            self.heap.offer(key, best)
+        return best
+
+    def estimate(self, key: int) -> int:
+        """Current count estimate for ``key`` (0 if fully decayed)."""
+        fp = self.fingerprint(key)
+        best = 0
+        for row in range(self.depth):
+            stored_fp, count = self.rows[row][self._col(row, key)]
+            if stored_fp == fp:
+                best = max(best, count)
+        return best
+
+    def topk(self) -> List[Tuple[int, int]]:
+        """(count, key) pairs, heaviest first."""
+        return self.heap.topk()

@@ -1,0 +1,88 @@
+"""Simulated eBPF substrate: cost model, runtime, maps, IR, verifier, VM.
+
+This package stands in for the Linux eBPF infrastructure the paper
+builds on: BPF maps and helpers (with their per-call costs), the
+kfunc/kptr metadata machinery, and a static verifier enforcing the
+safety rules of §4.1.
+"""
+
+from .disasm import disassemble, disassemble_one
+from .cost_model import (
+    CPU_HZ,
+    Category,
+    CostModel,
+    CycleSnapshot,
+    Cycles,
+    DEFAULT_COSTS,
+    ExecMode,
+    OBSERVATION_CATEGORIES,
+    gap,
+    improvement,
+    processing_time_ns,
+    simd_batches,
+    throughput_pps,
+)
+from .kfunc_meta import (
+    ARG_CONST,
+    ARG_KPTR,
+    ARG_PTR,
+    ARG_SCALAR,
+    KF_ACQUIRE,
+    KF_RELEASE,
+    KF_RET_NULL,
+    KfuncMeta,
+    KfuncRegistry,
+    RET_KPTR,
+    RET_SCALAR,
+    RET_VOID,
+    default_registry,
+)
+from .maps import BpfArrayMap, BpfHashMap, BpfLruHashMap, BpfMap, BpfPercpuArray, MapFullError
+from .runtime import BpfRuntime
+from .verifier import Verifier, VerifierError, VerifierStats
+from .vm import KernelObject, Pointer, Vm, VmFault
+
+__all__ = [
+    "disassemble",
+    "disassemble_one",
+    "CPU_HZ",
+    "Category",
+    "CostModel",
+    "CycleSnapshot",
+    "Cycles",
+    "DEFAULT_COSTS",
+    "ExecMode",
+    "OBSERVATION_CATEGORIES",
+    "gap",
+    "improvement",
+    "processing_time_ns",
+    "simd_batches",
+    "throughput_pps",
+    "ARG_CONST",
+    "ARG_KPTR",
+    "ARG_PTR",
+    "ARG_SCALAR",
+    "KF_ACQUIRE",
+    "KF_RELEASE",
+    "KF_RET_NULL",
+    "KfuncMeta",
+    "KfuncRegistry",
+    "RET_KPTR",
+    "RET_SCALAR",
+    "RET_VOID",
+    "default_registry",
+    "BpfArrayMap",
+    "BpfHashMap",
+    "BpfLruHashMap",
+    "BpfMap",
+    "BpfPercpuArray",
+    "MapFullError",
+    "BpfRuntime",
+    "Verifier",
+    "VerifierError",
+    "VerifierStats",
+    "KernelObject",
+    "Pointer",
+    "Vm",
+    "VmFault",
+]

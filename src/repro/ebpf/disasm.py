@@ -1,0 +1,84 @@
+"""Disassembler for the eBPF-like IR.
+
+Renders programs in a bpftool-flavored listing, used by the verifier
+demos and error reporting; ``disassemble_one`` gives the single-line
+form the tests anchor on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .insn import (
+    Alu,
+    Call,
+    Exit,
+    Imm,
+    Insn,
+    Jmp,
+    JmpIf,
+    Load,
+    Mov,
+    Program,
+    Store,
+)
+
+_ALU_SYMBOL = {
+    "add": "+=",
+    "sub": "-=",
+    "mul": "*=",
+    "div": "/=",
+    "mod": "%=",
+    "and": "&=",
+    "or": "|=",
+    "xor": "^=",
+    "lsh": "<<=",
+    "rsh": ">>=",
+}
+
+_JMP_SYMBOL = {
+    "eq": "==",
+    "ne": "!=",
+    "lt": "<",
+    "le": "<=",
+    "gt": ">",
+    "ge": ">=",
+}
+
+
+def _operand(src: Union[int, Imm]) -> str:
+    if isinstance(src, Imm):
+        return str(src.value)
+    return f"r{src}"
+
+
+def disassemble_one(insn: Insn) -> str:
+    """One instruction in bpftool-ish syntax."""
+    if isinstance(insn, Mov):
+        return f"r{insn.dst} = {_operand(insn.src)}"
+    if isinstance(insn, Alu):
+        return f"r{insn.dst} {_ALU_SYMBOL[insn.op]} {_operand(insn.src)}"
+    if isinstance(insn, Load):
+        return f"r{insn.dst} = *(u64 *)(r{insn.base} {insn.off:+d})"
+    if isinstance(insn, Store):
+        return f"*(u64 *)(r{insn.base} {insn.off:+d}) = {_operand(insn.src)}"
+    if isinstance(insn, Call):
+        return f"call {insn.func}"
+    if isinstance(insn, Jmp):
+        return f"goto {insn.target}"
+    if isinstance(insn, JmpIf):
+        return (
+            f"if r{insn.lhs} {_JMP_SYMBOL[insn.op]} {_operand(insn.rhs)} "
+            f"goto {insn.target}"
+        )
+    if isinstance(insn, Exit):
+        return "exit"
+    raise ValueError(f"unknown instruction {insn!r}")
+
+
+def disassemble(prog: Program) -> str:
+    """Full numbered listing of a program."""
+    lines: List[str] = [f"; program {prog.name} ({len(prog)} insns)"]
+    for i, insn in enumerate(prog):
+        lines.append(f"{i:4d}: {disassemble_one(insn)}")
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""A small eBPF-like instruction set.
+
+This IR models the part of the eBPF ISA the paper's safety story turns
+on: register moves and ALU ops, stack and pointer memory access,
+helper/kfunc calls with the standard r1-r5 argument / r0 return
+convention, conditional jumps, and exit.  It is deliberately reduced —
+64-bit operations only, 8-byte memory accesses — because its purpose is
+to let the verifier (:mod:`repro.ebpf.verifier`) demonstrate the
+kptr/kfunc safety rules of §4.1 end to end, not to run production
+bytecode.
+
+Registers follow the eBPF convention:
+
+- ``r0``: return value,
+- ``r1``-``r5``: call arguments (clobbered by calls),
+- ``r6``-``r9``: callee-saved,
+- ``r10``: read-only frame pointer (stack grows down from offset 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+N_REGS = 11
+R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10 = range(N_REGS)
+STACK_SIZE = 512
+
+ALU_OPS = ("add", "sub", "mul", "div", "mod", "and", "or", "xor", "lsh", "rsh")
+JMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+def _check_reg(reg: int, allow_fp: bool = True) -> None:
+    hi = N_REGS if allow_fp else N_REGS - 1
+    if not 0 <= reg < hi:
+        raise ValueError(f"invalid register r{reg}")
+
+
+@dataclass(frozen=True)
+class Insn:
+    """Base class for all instructions."""
+
+
+@dataclass(frozen=True)
+class Mov(Insn):
+    """``dst = src`` where ``src`` is a register or an immediate."""
+
+    dst: int
+    src: Union[int, "Imm"]
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, allow_fp=False)
+        if isinstance(self.src, int):
+            _check_reg(self.src)
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (wrapper distinguishes it from a register)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Alu(Insn):
+    """``dst = dst <op> src``."""
+
+    op: str
+    dst: int
+    src: Union[int, Imm]
+
+    def __post_init__(self) -> None:
+        if self.op not in ALU_OPS:
+            raise ValueError(f"unknown ALU op {self.op!r}")
+        _check_reg(self.dst, allow_fp=False)
+        if isinstance(self.src, int):
+            _check_reg(self.src)
+
+
+@dataclass(frozen=True)
+class Load(Insn):
+    """``dst = *(u64 *)(base + off)``."""
+
+    dst: int
+    base: int
+    off: int = 0
+
+    def __post_init__(self) -> None:
+        _check_reg(self.dst, allow_fp=False)
+        _check_reg(self.base)
+
+
+@dataclass(frozen=True)
+class Store(Insn):
+    """``*(u64 *)(base + off) = src`` (register or immediate)."""
+
+    base: int
+    off: int
+    src: Union[int, Imm]
+
+    def __post_init__(self) -> None:
+        _check_reg(self.base)
+        if isinstance(self.src, int):
+            _check_reg(self.src)
+
+
+@dataclass(frozen=True)
+class Call(Insn):
+    """Call a registered helper or kfunc by name.
+
+    Arguments are taken from r1..r5 per the metadata's arity; the result
+    lands in r0; r1-r5 are clobbered.
+    """
+
+    func: str
+
+
+@dataclass(frozen=True)
+class Jmp(Insn):
+    """Unconditional jump to absolute instruction index."""
+
+    target: int
+
+
+@dataclass(frozen=True)
+class JmpIf(Insn):
+    """``if (lhs <op> rhs) goto target`` — rhs register or immediate."""
+
+    op: str
+    lhs: int
+    rhs: Union[int, Imm]
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.op not in JMP_OPS:
+            raise ValueError(f"unknown jump op {self.op!r}")
+        _check_reg(self.lhs)
+        if isinstance(self.rhs, int):
+            _check_reg(self.rhs)
+
+
+@dataclass(frozen=True)
+class Exit(Insn):
+    """Return from the program; r0 is the return value."""
+
+
+class Program:
+    """A sequence of instructions plus a human-readable name."""
+
+    def __init__(self, insns: Sequence[Insn], name: str = "prog") -> None:
+        self.insns: List[Insn] = list(insns)
+        self.name = name
+        if not self.insns:
+            raise ValueError("empty program")
+        self._validate_targets()
+
+    def _validate_targets(self) -> None:
+        n = len(self.insns)
+        for i, insn in enumerate(self.insns):
+            target: Optional[int] = None
+            if isinstance(insn, Jmp):
+                target = insn.target
+            elif isinstance(insn, JmpIf):
+                target = insn.target
+            if target is not None and not 0 <= target < n:
+                raise ValueError(
+                    f"{self.name}: insn {i} jumps to invalid target {target}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.insns)
+
+    def __iter__(self):
+        return iter(self.insns)
+
+    def __getitem__(self, i: int) -> Insn:
+        return self.insns[i]

@@ -1,0 +1,223 @@
+"""Simulated BPF maps.
+
+BPF maps are the only persistent storage available to eBPF programs.
+Every access from an eBPF program goes through a helper call
+(``bpf_map_lookup_elem`` etc.), whose overhead the paper identifies as a
+per-packet cost (§2.2).  The map classes here perform real storage
+operations and charge the corresponding helper cost against the owning
+runtime — except for *kernel-side* access (``raw_*`` methods), which
+models in-kernel code touching the same memory without the helper
+boundary.
+
+Implemented map types mirror the ones the surveyed NFs use:
+
+- :class:`BpfHashMap`     (``BPF_MAP_TYPE_HASH``)
+- :class:`BpfArrayMap`    (``BPF_MAP_TYPE_ARRAY``)
+- :class:`BpfPercpuArray` (``BPF_MAP_TYPE_PERCPU_ARRAY``)
+- :class:`BpfLruHashMap`  (``BPF_MAP_TYPE_LRU_HASH``)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Iterator, List, Optional
+
+from .cost_model import Category
+from .runtime import BpfRuntime
+
+
+class MapFullError(RuntimeError):
+    """Raised when an update would exceed ``max_entries`` (-E2BIG)."""
+
+
+class BpfMap:
+    """Common bookkeeping for all simulated BPF map types."""
+
+    def __init__(self, rt: BpfRuntime, max_entries: int, name: str = "") -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.rt = rt
+        self.max_entries = max_entries
+        self.name = name or type(self).__name__
+
+    def _charge_lookup(self, category: Category) -> None:
+        self.rt.charge(self.rt.costs.map_lookup, category)
+
+    def _charge_update(self, category: Category) -> None:
+        self.rt.charge(self.rt.costs.map_update, category)
+
+    def _charge_delete(self, category: Category) -> None:
+        self.rt.charge(self.rt.costs.map_delete, category)
+
+
+class BpfHashMap(BpfMap):
+    """``BPF_MAP_TYPE_HASH``: helper-accessed hash table."""
+
+    def __init__(self, rt: BpfRuntime, max_entries: int, name: str = "") -> None:
+        super().__init__(rt, max_entries, name)
+        self._store: Dict[Any, Any] = {}
+
+    def lookup(self, key: Any, category: Category = Category.OTHER) -> Optional[Any]:
+        self._charge_lookup(category)
+        return self._store.get(key)
+
+    def update(self, key: Any, value: Any, category: Category = Category.OTHER) -> None:
+        self._charge_update(category)
+        if key not in self._store and len(self._store) >= self.max_entries:
+            raise MapFullError(f"{self.name}: map full ({self.max_entries} entries)")
+        self._store[key] = value
+
+    def delete(self, key: Any, category: Category = Category.OTHER) -> bool:
+        self._charge_delete(category)
+        return self._store.pop(key, _MISSING) is not _MISSING
+
+    # Kernel-side access: same memory, no helper boundary.
+    def raw_lookup(self, key: Any) -> Optional[Any]:
+        return self._store.get(key)
+
+    def raw_update(self, key: Any, value: Any) -> None:
+        if key not in self._store and len(self._store) >= self.max_entries:
+            raise MapFullError(f"{self.name}: map full ({self.max_entries} entries)")
+        self._store[key] = value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._store
+
+    def items(self) -> Iterator:
+        return iter(self._store.items())
+
+
+class BpfArrayMap(BpfMap):
+    """``BPF_MAP_TYPE_ARRAY``: fixed-size, index-addressed.
+
+    Array maps are preallocated; lookups are cheaper than hash maps but
+    still cross the helper boundary from eBPF.
+    """
+
+    def __init__(
+        self,
+        rt: BpfRuntime,
+        max_entries: int,
+        default: Any = 0,
+        name: str = "",
+    ) -> None:
+        super().__init__(rt, max_entries, name)
+        self._store: List[Any] = [default for _ in range(max_entries)]
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.max_entries:
+            raise IndexError(f"{self.name}: index {index} out of range")
+
+    def lookup(self, index: int, category: Category = Category.OTHER) -> Any:
+        self._charge_lookup(category)
+        self._check_index(index)
+        return self._store[index]
+
+    def update(self, index: int, value: Any, category: Category = Category.OTHER) -> None:
+        self._charge_update(category)
+        self._check_index(index)
+        self._store[index] = value
+
+    def raw_lookup(self, index: int) -> Any:
+        self._check_index(index)
+        return self._store[index]
+
+    def raw_update(self, index: int, value: Any) -> None:
+        self._check_index(index)
+        self._store[index] = value
+
+    def __len__(self) -> int:
+        return self.max_entries
+
+
+class BpfPercpuArray(BpfMap):
+    """``BPF_MAP_TYPE_PERCPU_ARRAY``: one array slice per CPU.
+
+    Accessing the local CPU's slice avoids cross-core contention; the
+    lookup is cheaper than a hash-map helper but still a helper call
+    from eBPF.  The simulation is single-core (the paper pins RSS to one
+    queue/CPU), so ``cpu`` defaults to 0.
+    """
+
+    def __init__(
+        self,
+        rt: BpfRuntime,
+        max_entries: int,
+        n_cpus: int = 1,
+        default: Any = None,
+        name: str = "",
+    ) -> None:
+        super().__init__(rt, max_entries, name)
+        if n_cpus <= 0:
+            raise ValueError("n_cpus must be positive")
+        self.n_cpus = n_cpus
+        self._store: List[List[Any]] = [
+            [default for _ in range(max_entries)] for _ in range(n_cpus)
+        ]
+
+    def lookup(
+        self, index: int, cpu: int = 0, category: Category = Category.OTHER
+    ) -> Any:
+        self.rt.charge(self.rt.costs.percpu_array_lookup, category)
+        self._check(index, cpu)
+        return self._store[cpu][index]
+
+    def update(
+        self, index: int, value: Any, cpu: int = 0, category: Category = Category.OTHER
+    ) -> None:
+        self.rt.charge(self.rt.costs.percpu_array_lookup, category)
+        self._check(index, cpu)
+        self._store[cpu][index] = value
+
+    def raw_lookup(self, index: int, cpu: int = 0) -> Any:
+        self._check(index, cpu)
+        return self._store[cpu][index]
+
+    def raw_update(self, index: int, value: Any, cpu: int = 0) -> None:
+        self._check(index, cpu)
+        self._store[cpu][index] = value
+
+    def _check(self, index: int, cpu: int) -> None:
+        if not 0 <= cpu < self.n_cpus:
+            raise IndexError(f"{self.name}: cpu {cpu} out of range")
+        if not 0 <= index < self.max_entries:
+            raise IndexError(f"{self.name}: index {index} out of range")
+
+
+class BpfLruHashMap(BpfMap):
+    """``BPF_MAP_TYPE_LRU_HASH``: hash map with LRU eviction on overflow."""
+
+    def __init__(self, rt: BpfRuntime, max_entries: int, name: str = "") -> None:
+        super().__init__(rt, max_entries, name)
+        self._store: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def lookup(self, key: Any, category: Category = Category.OTHER) -> Optional[Any]:
+        self._charge_lookup(category)
+        if key not in self._store:
+            return None
+        self._store.move_to_end(key)
+        return self._store[key]
+
+    def update(self, key: Any, value: Any, category: Category = Category.OTHER) -> None:
+        self._charge_update(category)
+        if key in self._store:
+            self._store.move_to_end(key)
+        elif len(self._store) >= self.max_entries:
+            self._store.popitem(last=False)
+        self._store[key] = value
+
+    def delete(self, key: Any, category: Category = Category.OTHER) -> bool:
+        self._charge_delete(category)
+        return self._store.pop(key, _MISSING) is not _MISSING
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._store
+
+
+_MISSING = object()

@@ -1,0 +1,559 @@
+"""Static verifier for the simulated eBPF IR.
+
+Implements the safety rules the paper's design leans on (§4.1, §4.4):
+
+1. **Safe termination** — no back edges (unbounded loops), no
+   out-of-bounds jumps, no possible division by zero, bounded
+   verification complexity.
+2. **Memory safety** — stack accesses in-bounds and initialized-before-
+   read, kernel pointers null-checked before dereference
+   (``KF_RET_NULL``), no pointer stores into kernel memory.
+3. **Resource safety** — every acquired reference (``KF_ACQUIRE``) is
+   released exactly once (``KF_RELEASE``) on every path; released
+   pointers are invalidated everywhere (no use-after-free); only valid
+   pointers may be passed to kfuncs.
+
+The verifier is a path-sensitive abstract interpreter: it explores the
+program's CFG with symbolic register/stack states, refines pointer
+nullness at conditional branches, and prunes states it has already
+visited.  Like the kernel's verifier it validates programs against
+kfunc *metadata* (:mod:`repro.ebpf.kfunc_meta`), never against kfunc
+implementations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+
+from .insn import (
+    Alu,
+    Call,
+    Exit,
+    Imm,
+    Insn,
+    Jmp,
+    JmpIf,
+    Load,
+    Mov,
+    Program,
+    Store,
+    R0,
+    R1,
+    R10,
+    N_REGS,
+    STACK_SIZE,
+)
+from .kfunc_meta import (
+    ARG_CONST,
+    ARG_KPTR,
+    ARG_PTR,
+    ARG_SCALAR,
+    KfuncMeta,
+    KfuncRegistry,
+    RET_KPTR,
+    RET_SCALAR,
+    RET_VOID,
+)
+
+#: Size (bytes) of kernel memory regions returned by kfuncs; accesses
+#: beyond this are rejected as out-of-bounds.
+KPTR_REGION_SIZE = 256
+CTX_REGION_SIZE = 256
+ACCESS_SIZE = 8
+
+#: Complexity cap: maximum abstract states explored before rejecting.
+MAX_STATES = 50_000
+
+NOT_INIT = "not_init"
+SCALAR = "scalar"
+STACK_PTR = "stack_ptr"
+CTX_PTR = "ctx_ptr"
+KPTR = "kptr"
+PKT_PTR = "pkt_ptr"      # ctx->data (+ constant offset)
+PKT_END = "pkt_end"      # ctx->data_end
+
+#: XDP context layout: loads at these ctx offsets yield packet pointers.
+CTX_OFF_DATA = 0
+CTX_OFF_DATA_END = 8
+
+
+class VerifierError(Exception):
+    """Program rejected; carries the offending instruction index."""
+
+    def __init__(self, message: str, pc: Optional[int] = None) -> None:
+        self.pc = pc
+        prefix = f"insn {pc}: " if pc is not None else ""
+        super().__init__(prefix + message)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """Abstract state of one register."""
+
+    kind: str = NOT_INIT
+    const: Optional[int] = None      # known constant (scalars only)
+    off: int = 0                     # pointer offset (stack/kptr/ctx)
+    maybe_null: bool = False         # unchecked kfunc return
+    ref_id: Optional[int] = None     # acquired-reference identity
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.kind in (STACK_PTR, CTX_PTR, KPTR, PKT_PTR, PKT_END)
+
+    def key(self) -> Tuple:
+        # Constant values are dropped from the pruning key except small
+        # ones, keeping the visited-set finite without losing precision
+        # where it matters (null checks track 0 exactly).
+        const = self.const if self.const is not None and -16 <= self.const <= 16 else (
+            "any" if self.const is not None else None
+        )
+        return (self.kind, const, self.off, self.maybe_null, self.ref_id)
+
+
+SCALAR_UNKNOWN = Reg(kind=SCALAR)
+
+
+def scalar(value: Optional[int] = None) -> Reg:
+    return Reg(kind=SCALAR, const=value)
+
+
+@dataclass(frozen=True)
+class AbstractState:
+    """Registers + stack + live references at one program point."""
+
+    regs: Tuple[Reg, ...]
+    stack: Tuple[Tuple[int, Reg], ...]          # (slot offset, stored state)
+    refs: FrozenSet[int]
+    #: Bytes of packet data proven in-bounds by a data_end comparison.
+    pkt_checked: int = 0
+
+    def reg(self, i: int) -> Reg:
+        return self.regs[i]
+
+    def with_reg(self, i: int, r: Reg) -> "AbstractState":
+        regs = list(self.regs)
+        regs[i] = r
+        return replace(self, regs=tuple(regs))
+
+    def with_stack_slot(self, off: int, r: Reg) -> "AbstractState":
+        slots = dict(self.stack)
+        slots[off] = r
+        return replace(self, stack=tuple(sorted(slots.items())))
+
+    def stack_slot(self, off: int) -> Optional[Reg]:
+        for slot_off, r in self.stack:
+            if slot_off == off:
+                return r
+        return None
+
+    def key(self) -> Tuple:
+        return (
+            tuple(r.key() for r in self.regs),
+            tuple((off, r.key()) for off, r in self.stack),
+            tuple(sorted(self.refs)),
+            self.pkt_checked,
+        )
+
+
+def initial_state() -> AbstractState:
+    regs = [Reg() for _ in range(N_REGS)]
+    regs[R1] = Reg(kind=CTX_PTR)
+    regs[R10] = Reg(kind=STACK_PTR, off=0)
+    return AbstractState(regs=tuple(regs), stack=(), refs=frozenset())
+
+
+class Verifier:
+    """Verify a :class:`Program` against a kfunc registry."""
+
+    def __init__(self, registry: KfuncRegistry, prog_type: str = "xdp") -> None:
+        self.registry = registry
+        self.prog_type = prog_type
+
+    # -- public API ------------------------------------------------------
+
+    def verify(self, prog: Program) -> "VerifierStats":
+        """Raise :class:`VerifierError` if ``prog`` is unsafe."""
+        self._reject_back_edges(prog)
+        explored = 0
+        visited: Set[Tuple] = set()
+        worklist: List[Tuple[int, AbstractState]] = [(0, initial_state())]
+        while worklist:
+            pc, state = worklist.pop()
+            key = (pc, state.key())
+            if key in visited:
+                continue
+            visited.add(key)
+            explored += 1
+            if explored > MAX_STATES:
+                raise VerifierError("program too complex (state limit exceeded)")
+            if pc >= len(prog):
+                raise VerifierError("fell off the end of the program", pc)
+            for nxt_pc, nxt_state in self._step(prog, pc, state):
+                worklist.append((nxt_pc, nxt_state))
+        return VerifierStats(states_explored=explored)
+
+    # -- structural checks -------------------------------------------------
+
+    @staticmethod
+    def _reject_back_edges(prog: Program) -> None:
+        for i, insn in enumerate(prog):
+            target = None
+            if isinstance(insn, Jmp):
+                target = insn.target
+            elif isinstance(insn, JmpIf):
+                target = insn.target
+            if target is not None and target <= i:
+                raise VerifierError("back-edge detected (possible unbounded loop)", i)
+
+    # -- abstract transfer --------------------------------------------------
+
+    def _step(
+        self, prog: Program, pc: int, state: AbstractState
+    ) -> List[Tuple[int, AbstractState]]:
+        insn = prog[pc]
+        if isinstance(insn, Mov):
+            return [(pc + 1, self._do_mov(insn, state, pc))]
+        if isinstance(insn, Alu):
+            return [(pc + 1, self._do_alu(insn, state, pc))]
+        if isinstance(insn, Load):
+            return [(pc + 1, self._do_load(insn, state, pc))]
+        if isinstance(insn, Store):
+            return [(pc + 1, self._do_store(insn, state, pc))]
+        if isinstance(insn, Call):
+            return [(pc + 1, self._do_call(insn, state, pc))]
+        if isinstance(insn, Jmp):
+            return [(insn.target, state)]
+        if isinstance(insn, JmpIf):
+            return self._do_jmp_if(insn, state, pc)
+        if isinstance(insn, Exit):
+            self._check_exit(state, pc)
+            return []
+        raise VerifierError(f"unknown instruction {insn!r}", pc)
+
+    def _operand(self, src: Union[int, Imm], state: AbstractState, pc: int) -> Reg:
+        if isinstance(src, Imm):
+            return scalar(src.value)
+        r = state.reg(src)
+        if r.kind == NOT_INIT:
+            raise VerifierError(f"read of uninitialized register r{src}", pc)
+        return r
+
+    def _do_mov(self, insn: Mov, state: AbstractState, pc: int) -> AbstractState:
+        return state.with_reg(insn.dst, self._operand(insn.src, state, pc))
+
+    def _do_alu(self, insn: Alu, state: AbstractState, pc: int) -> AbstractState:
+        dst = state.reg(insn.dst)
+        if dst.kind == NOT_INIT:
+            raise VerifierError(f"ALU on uninitialized register r{insn.dst}", pc)
+        src = self._operand(insn.src, state, pc)
+
+        if insn.op in ("div", "mod"):
+            if src.kind != SCALAR:
+                raise VerifierError("division by a pointer", pc)
+            if src.const is None:
+                raise VerifierError("possible division by zero (unknown divisor)", pc)
+            if src.const == 0:
+                raise VerifierError("division by zero", pc)
+
+        # Pointer arithmetic: only ptr +/- known-constant scalar.
+        if dst.kind == PKT_END:
+            raise VerifierError("arithmetic on ctx->data_end is not allowed", pc)
+        if dst.is_pointer:
+            if insn.op not in ("add", "sub"):
+                raise VerifierError(f"invalid {insn.op} on pointer r{insn.dst}", pc)
+            if src.kind != SCALAR or src.const is None:
+                raise VerifierError(
+                    "pointer arithmetic with unknown scalar is not allowed", pc
+                )
+            if dst.maybe_null:
+                raise VerifierError(
+                    "arithmetic on possibly-NULL pointer before null check", pc
+                )
+            delta = src.const if insn.op == "add" else -src.const
+            return state.with_reg(insn.dst, replace(dst, off=dst.off + delta))
+        if src.is_pointer:
+            raise VerifierError("scalar op with pointer operand is not allowed", pc)
+
+        const: Optional[int] = None
+        if dst.const is not None and src.const is not None:
+            const = _eval_alu(insn.op, dst.const, src.const, pc)
+        return state.with_reg(insn.dst, scalar(const))
+
+    def _check_mem_access(
+        self, base: Reg, off: int, pc: int, write: bool, state: AbstractState
+    ) -> None:
+        if base.kind == STACK_PTR:
+            addr = base.off + off
+            if addr % ACCESS_SIZE:
+                raise VerifierError(f"misaligned stack access at fp{addr:+d}", pc)
+            if not (-STACK_SIZE <= addr <= -ACCESS_SIZE):
+                raise VerifierError(f"stack access out of bounds at fp{addr:+d}", pc)
+            return
+        if base.kind == PKT_END:
+            raise VerifierError("cannot dereference ctx->data_end", pc)
+        if base.kind == PKT_PTR:
+            addr = base.off + off
+            if addr < 0 or addr + ACCESS_SIZE > state.pkt_checked:
+                raise VerifierError(
+                    "packet access out of bounds (missing data_end check)", pc
+                )
+            return
+        if base.kind in (KPTR, CTX_PTR):
+            if base.maybe_null:
+                raise VerifierError(
+                    "possible NULL dereference (missing null check)", pc
+                )
+            region = KPTR_REGION_SIZE if base.kind == KPTR else CTX_REGION_SIZE
+            addr = base.off + off
+            if not (0 <= addr <= region - ACCESS_SIZE):
+                raise VerifierError(
+                    f"kernel memory access out of bounds at +{addr}", pc
+                )
+            return
+        raise VerifierError(f"memory access via non-pointer ({base.kind})", pc)
+
+    def _do_load(self, insn: Load, state: AbstractState, pc: int) -> AbstractState:
+        base = state.reg(insn.base)
+        if base.kind == NOT_INIT:
+            raise VerifierError(f"load via uninitialized register r{insn.base}", pc)
+        self._check_mem_access(base, insn.off, pc, write=False, state=state)
+        if base.kind == STACK_PTR:
+            slot = state.stack_slot(base.off + insn.off)
+            if slot is None:
+                raise VerifierError(
+                    f"read of uninitialized stack slot fp{base.off + insn.off:+d}", pc
+                )
+            return state.with_reg(insn.dst, slot)
+        if base.kind == CTX_PTR:
+            addr = base.off + insn.off
+            if addr == CTX_OFF_DATA:
+                return state.with_reg(insn.dst, Reg(kind=PKT_PTR, off=0))
+            if addr == CTX_OFF_DATA_END:
+                return state.with_reg(insn.dst, Reg(kind=PKT_END))
+        return state.with_reg(insn.dst, SCALAR_UNKNOWN)
+
+    def _do_store(self, insn: Store, state: AbstractState, pc: int) -> AbstractState:
+        base = state.reg(insn.base)
+        if base.kind == NOT_INIT:
+            raise VerifierError(f"store via uninitialized register r{insn.base}", pc)
+        value = self._operand(insn.src, state, pc)
+        self._check_mem_access(base, insn.off, pc, write=True, state=state)
+        if base.kind == STACK_PTR:
+            return state.with_stack_slot(base.off + insn.off, value)
+        if value.is_pointer:
+            raise VerifierError(
+                "cannot store a pointer into kernel memory (use bpf_kptr_xchg)", pc
+            )
+        return state
+
+    def _do_call(self, insn: Call, state: AbstractState, pc: int) -> AbstractState:
+        meta = self.registry.get(insn.func)
+        if meta is None:
+            raise VerifierError(f"call to unknown kfunc {insn.func!r}", pc)
+        if meta.prog_types is not None and self.prog_type not in meta.prog_types:
+            raise VerifierError(
+                f"kfunc {insn.func!r} not allowed for {self.prog_type} programs", pc
+            )
+        state = self._check_call_args(meta, state, pc)
+        state = self._apply_release(meta, state, pc)
+        state = self._clobber_caller_saved(state)
+        return self._apply_return(meta, state, pc)
+
+    def _check_call_args(
+        self, meta: KfuncMeta, state: AbstractState, pc: int
+    ) -> AbstractState:
+        for i, kind in enumerate(meta.args):
+            reg_idx = R1 + i
+            r = state.reg(reg_idx)
+            if r.kind == NOT_INIT:
+                raise VerifierError(
+                    f"{meta.name}: arg {i + 1} (r{reg_idx}) is uninitialized", pc
+                )
+            if kind == ARG_SCALAR:
+                if r.kind != SCALAR:
+                    raise VerifierError(
+                        f"{meta.name}: arg {i + 1} must be a scalar", pc
+                    )
+            elif kind == ARG_CONST:
+                if r.kind != SCALAR or r.const is None:
+                    raise VerifierError(
+                        f"{meta.name}: arg {i + 1} must be a known constant", pc
+                    )
+            elif kind == ARG_PTR:
+                if not r.is_pointer:
+                    raise VerifierError(
+                        f"{meta.name}: arg {i + 1} must be a pointer", pc
+                    )
+                if r.maybe_null:
+                    raise VerifierError(
+                        f"{meta.name}: arg {i + 1} may be NULL (missing check)", pc
+                    )
+            elif kind == ARG_KPTR:
+                if r.kind != KPTR:
+                    raise VerifierError(
+                        f"{meta.name}: arg {i + 1} must be a kernel pointer", pc
+                    )
+                if r.maybe_null:
+                    raise VerifierError(
+                        f"{meta.name}: arg {i + 1} may be NULL (missing check)", pc
+                    )
+        return state
+
+    def _apply_release(
+        self, meta: KfuncMeta, state: AbstractState, pc: int
+    ) -> AbstractState:
+        if not meta.releases:
+            return state
+        r1 = state.reg(R1 + meta.release_arg)
+        if r1.ref_id is None or r1.ref_id not in state.refs:
+            raise VerifierError(
+                f"{meta.name}: releasing a pointer that was not acquired "
+                "(possible double free)",
+                pc,
+            )
+        released = r1.ref_id
+        regs = tuple(
+            Reg() if r.ref_id == released else r for r in state.regs
+        )
+        stack = tuple(
+            (off, Reg() if r.ref_id == released else r) for off, r in state.stack
+        )
+        return AbstractState(regs=regs, stack=stack, refs=state.refs - {released})
+
+    @staticmethod
+    def _clobber_caller_saved(state: AbstractState) -> AbstractState:
+        regs = list(state.regs)
+        for i in range(R1, R1 + 5):
+            regs[i] = Reg()
+        return replace(state, regs=tuple(regs))
+
+    _ref_counter = itertools.count(1)
+
+    def _apply_return(
+        self, meta: KfuncMeta, state: AbstractState, pc: int
+    ) -> AbstractState:
+        if meta.ret == RET_SCALAR:
+            return state.with_reg(R0, SCALAR_UNKNOWN)
+        if meta.ret == RET_VOID:
+            return state.with_reg(R0, Reg())
+        # RET_KPTR
+        ref_id = None
+        refs = state.refs
+        if meta.acquires:
+            ref_id = next(self._ref_counter)
+            refs = refs | {ref_id}
+        r0 = Reg(kind=KPTR, maybe_null=meta.may_return_null, ref_id=ref_id)
+        return replace(state.with_reg(R0, r0), refs=refs)
+
+    def _do_jmp_if(
+        self, insn: JmpIf, state: AbstractState, pc: int
+    ) -> List[Tuple[int, AbstractState]]:
+        lhs = state.reg(insn.lhs)
+        if lhs.kind == NOT_INIT:
+            raise VerifierError(f"branch on uninitialized register r{insn.lhs}", pc)
+        rhs = self._operand(insn.rhs, state, pc)
+
+        # Packet-bounds refinement: `if (data + N) <op> data_end`.
+        if lhs.kind == PKT_PTR and rhs.kind == PKT_END:
+            # lhs is data+off; proving lhs <= data_end makes `off` bytes
+            # of the packet accessible.
+            if insn.op in ("gt", "ge"):
+                # Taken: out of bounds (no info). Fallthrough: in bounds.
+                ok = replace(state, pkt_checked=max(state.pkt_checked, lhs.off))
+                return [(insn.target, state), (pc + 1, ok)]
+            if insn.op in ("le", "lt"):
+                ok = replace(state, pkt_checked=max(state.pkt_checked, lhs.off))
+                return [(insn.target, ok), (pc + 1, state)]
+            raise VerifierError(
+                "packet bound checks must use lt/le/gt/ge against data_end", pc
+            )
+        if rhs.kind == PKT_END or lhs.kind == PKT_END:
+            raise VerifierError(
+                "data_end may only be compared against a packet pointer", pc
+            )
+
+        # NULL-check refinement: `if (ptr ==/!= 0)`.
+        if lhs.is_pointer and rhs.kind == SCALAR and rhs.const == 0:
+            if insn.op == "eq":
+                null_state = self._mark_null(state, insn.lhs, pc)
+                ok_state = state.with_reg(insn.lhs, replace(lhs, maybe_null=False))
+                return [(insn.target, null_state), (pc + 1, ok_state)]
+            if insn.op == "ne":
+                ok_state = state.with_reg(insn.lhs, replace(lhs, maybe_null=False))
+                null_state = self._mark_null(state, insn.lhs, pc)
+                return [(insn.target, ok_state), (pc + 1, null_state)]
+            raise VerifierError("pointer comparison must use eq/ne against 0", pc)
+        if lhs.is_pointer or rhs.is_pointer:
+            raise VerifierError("pointer comparison with non-zero value", pc)
+
+        # Constant folding: take only the feasible branch when both known.
+        if lhs.const is not None and rhs.const is not None:
+            taken = _eval_cond(insn.op, lhs.const, rhs.const)
+            return [(insn.target if taken else pc + 1, state)]
+        return [(insn.target, state), (pc + 1, state)]
+
+    def _mark_null(self, state: AbstractState, reg_idx: int, pc: int) -> AbstractState:
+        """On the NULL branch the pointer is dead; an acquired ref that
+        is NULL never materialized, so drop it from the live set."""
+        r = state.reg(reg_idx)
+        refs = state.refs
+        if r.ref_id is not None:
+            refs = refs - {r.ref_id}
+        return replace(state.with_reg(reg_idx, scalar(0)), refs=refs)
+
+    def _check_exit(self, state: AbstractState, pc: int) -> None:
+        r0 = state.reg(R0)
+        if r0.kind != SCALAR:
+            raise VerifierError("R0 must hold a scalar return value at exit", pc)
+        if state.refs:
+            raise VerifierError(
+                f"{len(state.refs)} unreleased reference(s) at exit (resource leak)",
+                pc,
+            )
+
+
+@dataclass(frozen=True)
+class VerifierStats:
+    states_explored: int
+
+
+def _eval_alu(op: str, a: int, b: int, pc: int) -> int:
+    mask = (1 << 64) - 1
+    if op == "add":
+        return (a + b) & mask
+    if op == "sub":
+        return (a - b) & mask
+    if op == "mul":
+        return (a * b) & mask
+    if op == "div":
+        return (a & mask) // (b & mask)
+    if op == "mod":
+        return (a & mask) % (b & mask)
+    if op == "and":
+        return a & b & mask
+    if op == "or":
+        return (a | b) & mask
+    if op == "xor":
+        return (a ^ b) & mask
+    if op == "lsh":
+        if not 0 <= b < 64:
+            raise VerifierError(f"shift amount {b} out of range", pc)
+        return (a << b) & mask
+    if op == "rsh":
+        if not 0 <= b < 64:
+            raise VerifierError(f"shift amount {b} out of range", pc)
+        return (a & mask) >> b
+    raise VerifierError(f"unknown ALU op {op!r}", pc)
+
+
+def _eval_cond(op: str, a: int, b: int) -> bool:
+    return {
+        "eq": a == b,
+        "ne": a != b,
+        "lt": a < b,
+        "le": a <= b,
+        "gt": a > b,
+        "ge": a >= b,
+    }[op]

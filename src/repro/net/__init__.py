@@ -1,0 +1,37 @@
+"""Traffic substrate: packets, flow generators, and the XDP pipeline."""
+
+from .flowgen import DISTRIBUTIONS, FlowGenerator, make_flows, rate_to_inter_arrival_ns
+from .packet import MIN_FRAME_BYTES, PROTO_TCP, PROTO_UDP, Packet, XdpAction
+from .stats import geo_mean, mean, percentile, relative_error, stdev
+from .trace import dump_trace, dumps_trace, load_trace, loads_trace
+from .xdp import (
+    BASE_WIRE_LATENCY_NS,
+    PipelineResult,
+    XdpPipeline,
+    warm_then_measure,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "FlowGenerator",
+    "make_flows",
+    "rate_to_inter_arrival_ns",
+    "MIN_FRAME_BYTES",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "XdpAction",
+    "geo_mean",
+    "mean",
+    "percentile",
+    "relative_error",
+    "stdev",
+    "dump_trace",
+    "dumps_trace",
+    "load_trace",
+    "loads_trace",
+    "BASE_WIRE_LATENCY_NS",
+    "PipelineResult",
+    "XdpPipeline",
+    "warm_then_measure",
+]

@@ -1,0 +1,76 @@
+"""Trace persistence: save and replay packet traces as CSV.
+
+The paper replays fixed pktgen traces; persisting ours makes every
+measurement replayable byte-for-byte across machines and lets users
+bring their own traces (one packet per row: the 5-tuple, frame size,
+timestamp).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from .packet import Packet
+
+FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "proto", "size",
+          "timestamp_ns")
+
+
+def dump_trace(trace: Sequence[Packet], path: Union[str, Path]) -> int:
+    """Write ``trace`` to a CSV file; returns the packet count."""
+    with open(path, "w", newline="") as fh:
+        return dump_trace_file(trace, fh)
+
+
+def dump_trace_file(trace: Sequence[Packet], fh) -> int:
+    writer = csv.writer(fh)
+    writer.writerow(FIELDS)
+    count = 0
+    for pkt in trace:
+        writer.writerow(
+            (pkt.src_ip, pkt.dst_ip, pkt.src_port, pkt.dst_port, pkt.proto,
+             pkt.size, pkt.timestamp_ns)
+        )
+        count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> List[Packet]:
+    """Read a CSV trace written by :func:`dump_trace`."""
+    with open(path, newline="") as fh:
+        return load_trace_file(fh)
+
+
+def load_trace_file(fh) -> List[Packet]:
+    reader = csv.reader(fh)
+    header = next(reader, None)
+    if header is None or tuple(header) != FIELDS:
+        raise ValueError(
+            f"not a trace file: expected header {','.join(FIELDS)}"
+        )
+    trace: List[Packet] = []
+    for line_no, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(FIELDS):
+            raise ValueError(f"line {line_no}: expected {len(FIELDS)} fields")
+        try:
+            values = [int(v) for v in row]
+        except ValueError as exc:
+            raise ValueError(f"line {line_no}: {exc}") from None
+        trace.append(Packet(*values))
+    return trace
+
+
+def dumps_trace(trace: Sequence[Packet]) -> str:
+    """Trace as a CSV string (for tests and embedding)."""
+    buf = io.StringIO()
+    dump_trace_file(trace, buf)
+    return buf.getvalue()
+
+
+def loads_trace(text: str) -> List[Packet]:
+    return load_trace_file(io.StringIO(text))

@@ -1,0 +1,164 @@
+"""XDP pipeline simulator: attach an NF, replay a trace, measure.
+
+Mirrors the paper's methodology (§6.1): a single receive queue bound to
+one core, the NF attached at the XDP hook in native mode.  For
+throughput runs the NF drops packets after processing and we report
+packets-per-second derived from cycles-per-packet; for latency runs the
+NF forwards packets back and end-to-end latency is wire base plus
+processing time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol
+
+from ..ebpf.cost_model import (
+    CPU_HZ,
+    Category,
+    CycleSnapshot,
+    processing_time_ns,
+    throughput_pps,
+)
+from ..ebpf.runtime import BpfRuntime
+from .packet import Packet, XdpAction
+
+#: One-way wire + NIC + driver latency on the back-to-back testbed, ns.
+BASE_WIRE_LATENCY_NS = 11_000
+
+
+class NetworkFunction(Protocol):
+    """What the pipeline needs from an attached NF."""
+
+    rt: BpfRuntime
+
+    def process(self, packet: Packet) -> str:
+        """Handle one packet; returns an :class:`XdpAction` verdict."""
+        ...
+
+
+@dataclass
+class PipelineResult:
+    """Aggregate measurements from one trace replay."""
+
+    n_packets: int
+    total_cycles: int
+    actions: Dict[str, int]
+    by_category: Dict[Category, int]
+    latencies_ns: List[int] = field(default_factory=list)
+
+    @property
+    def cycles_per_packet(self) -> float:
+        if self.n_packets == 0:
+            return 0.0
+        return self.total_cycles / self.n_packets
+
+    @property
+    def pps(self) -> float:
+        """Single-core saturation throughput."""
+        if self.n_packets == 0:
+            return 0.0
+        return throughput_pps(self.cycles_per_packet)
+
+    @property
+    def mpps(self) -> float:
+        return self.pps / 1e6
+
+    @property
+    def proc_time_ns(self) -> float:
+        """Mean per-packet processing time (Fig. 5's metric)."""
+        if self.n_packets == 0:
+            return 0.0
+        return processing_time_ns(self.cycles_per_packet)
+
+    @property
+    def avg_latency_us(self) -> float:
+        """Mean end-to-end latency (Fig. 4's metric)."""
+        if not self.latencies_ns:
+            return 0.0
+        return sum(self.latencies_ns) / len(self.latencies_ns) / 1000.0
+
+    def behavior_share(self, *categories: Category) -> float:
+        """Share of cycles attributed to the given behaviors (Fig. 1)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return sum(self.by_category.get(c, 0) for c in categories) / self.total_cycles
+
+    def latency_at_load_us(self, offered_pps: float) -> float:
+        """End-to-end latency at an offered rate (extension to Fig. 4).
+
+        The paper measures latency only at 1 kpps, where queueing is
+        negligible; this extends the model with M/D/1 waiting time
+        (Poisson arrivals, deterministic per-packet service):
+        ``W = rho / (2 * (1 - rho)) * service``.  Returns ``inf`` at or
+        beyond saturation.
+        """
+        if offered_pps <= 0:
+            raise ValueError("offered_pps must be positive")
+        service_s = self.cycles_per_packet / CPU_HZ
+        rho = offered_pps * service_s
+        if rho >= 1.0:
+            return float("inf")
+        wait_s = rho / (2.0 * (1.0 - rho)) * service_s
+        return (2 * BASE_WIRE_LATENCY_NS / 1e9 + service_s + wait_s) * 1e6
+
+
+class XdpPipeline:
+    """Replay traces through one NF on one simulated core."""
+
+    def __init__(self, nf: NetworkFunction, charge_framework: bool = True) -> None:
+        self.nf = nf
+        self.rt = nf.rt
+        self.charge_framework = charge_framework
+
+    def run(
+        self,
+        trace: Iterable[Packet],
+        measure_latency: bool = False,
+        advance_clock: bool = True,
+    ) -> PipelineResult:
+        """Process every packet in ``trace`` and aggregate metrics."""
+        rt = self.rt
+        costs = rt.costs
+        framework = costs.xdp_dispatch + costs.packet_parse
+        actions: Dict[str, int] = {}
+        latencies: List[int] = []
+        start = rt.cycles.snapshot()
+        n = 0
+        for pkt in trace:
+            if advance_clock and pkt.timestamp_ns > rt.now_ns:
+                rt.advance_time_ns(pkt.timestamp_ns - rt.now_ns)
+            before = rt.cycles.total
+            if self.charge_framework:
+                rt.charge(costs.xdp_dispatch, Category.FRAMEWORK)
+                rt.charge(costs.packet_parse, Category.PARSE)
+            action = self.nf.process(pkt)
+            if action not in XdpAction.ALL:
+                raise ValueError(f"NF returned invalid XDP action {action!r}")
+            actions[action] = actions.get(action, 0) + 1
+            if measure_latency:
+                proc_cycles = rt.cycles.total - before
+                proc_ns = int(proc_cycles * 1e9 / CPU_HZ)
+                # Sender -> NF -> back to sender: two wire crossings.
+                latencies.append(2 * BASE_WIRE_LATENCY_NS + proc_ns)
+            n += 1
+        end = rt.cycles.snapshot()
+        delta = start.delta(end)
+        return PipelineResult(
+            n_packets=n,
+            total_cycles=delta.total,
+            actions=actions,
+            by_category=delta.by_category,
+            latencies_ns=latencies,
+        )
+
+
+def warm_then_measure(
+    pipeline: XdpPipeline,
+    warmup: Iterable[Packet],
+    trace: Iterable[Packet],
+    measure_latency: bool = False,
+) -> PipelineResult:
+    """Replay a warmup trace (tables filled, caches primed), then measure."""
+    pipeline.run(warmup)
+    return pipeline.run(trace, measure_latency=measure_latency)

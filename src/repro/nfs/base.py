@@ -1,0 +1,119 @@
+"""Common scaffolding for the evaluated network functions.
+
+Every NF from the paper's evaluation (§6.2) is implemented as a class
+that processes packets against real state while charging the cycle
+costs its execution mode implies.  A *variant* is the same NF built
+with a runtime in one of the three modes:
+
+- ``ExecMode.PURE_EBPF`` — maps/helpers/scalar costs (the baseline),
+- ``ExecMode.KERNEL``    — the in-kernel ideal,
+- ``ExecMode.ENETSTL``   — eNetSTL kfuncs (kernel-speed + small call
+  overheads).
+
+The skip-list NF deliberately has no pure-eBPF variant: that is the
+paper's P1 ("incomplete functionality").  Constructing one raises
+:class:`UnsupportedVariantError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+from ..ebpf.cost_model import CostModel, DEFAULT_COSTS, ExecMode
+from ..ebpf.runtime import BpfRuntime
+from ..net.packet import Packet, XdpAction
+
+
+class UnsupportedVariantError(NotImplementedError):
+    """This NF cannot be implemented in the requested execution mode."""
+
+
+class BaseNF:
+    """Base class: holds the runtime and declares the NF's identity."""
+
+    #: Human-readable NF name (matches the paper's tables).
+    name: str = "nf"
+    #: One of the seven surveyed categories.
+    category: str = "unknown"
+    #: Execution modes this NF supports.
+    supported_modes: Tuple[ExecMode, ...] = (
+        ExecMode.PURE_EBPF,
+        ExecMode.KERNEL,
+        ExecMode.ENETSTL,
+    )
+
+    def __init__(self, rt: BpfRuntime) -> None:
+        if rt.mode not in self.supported_modes:
+            raise UnsupportedVariantError(
+                f"{self.name} cannot be implemented in {rt.mode.label} "
+                f"(supported: {[m.label for m in self.supported_modes]})"
+            )
+        self.rt = rt
+
+    def process(self, packet: Packet) -> str:
+        """Handle one packet; returns an XDP verdict."""
+        raise NotImplementedError
+
+    # Convenience used by NF implementations.
+    @property
+    def costs(self) -> CostModel:
+        return self.rt.costs
+
+    @property
+    def mode(self) -> ExecMode:
+        return self.rt.mode
+
+    @property
+    def is_ebpf(self) -> bool:
+        return self.rt.mode == ExecMode.PURE_EBPF
+
+    @property
+    def is_enetstl(self) -> bool:
+        return self.rt.mode == ExecMode.ENETSTL
+
+    def kfunc_overhead(self) -> int:
+        """Per-call overhead of crossing into the library.
+
+        eNetSTL pays the JIT-ed kfunc call; the in-kernel baseline still
+        pays a plain function call; pure eBPF inlines its own code.
+        """
+        if self.is_enetstl:
+            return self.costs.kfunc_call
+        if self.mode == ExecMode.KERNEL:
+            return self.costs.kernel_call
+        return 0
+
+    def fetch_state(self, category=None) -> None:
+        """Retrieve the NF's state (map value in eBPF/kernel, kptr in
+        eNetSTL — which additionally pays the verifier's NULL check)."""
+        from ..ebpf.cost_model import Category
+
+        cat = category if category is not None else Category.FRAMEWORK
+        self.rt.charge(self.costs.map_lookup, cat)
+        if self.is_enetstl:
+            self.rt.charge(self.costs.null_check, cat)
+
+
+def build_nf(
+    nf_cls: Type[BaseNF],
+    mode: ExecMode,
+    seed: int = 0,
+    costs: CostModel = DEFAULT_COSTS,
+    **config,
+) -> BaseNF:
+    """Construct an NF variant with a fresh runtime."""
+    rt = BpfRuntime(mode=mode, costs=costs, seed=seed)
+    return nf_cls(rt, **config)
+
+
+def build_all_variants(
+    nf_cls: Type[BaseNF],
+    seed: int = 0,
+    costs: CostModel = DEFAULT_COSTS,
+    **config,
+) -> Dict[ExecMode, BaseNF]:
+    """One instance per supported mode, identically configured."""
+    return {
+        mode: build_nf(nf_cls, mode, seed=seed, costs=costs, **config)
+        for mode in nf_cls.supported_modes
+    }

@@ -1,0 +1,83 @@
+"""Extension NF: classic Bloom-filter membership test ([8]).
+
+The oldest surveyed work: k bits per key, set-after-hashing on insert
+and test-after-hashing on query — the ``hash_simd_setbits`` /
+``hash_simd_testbits`` unified kfuncs.  The eBPF baseline computes each
+hash in software and pays a bounds check per bit access.
+"""
+
+from __future__ import annotations
+
+from ..core.algorithms.hashing import HashAlgos, fast_hash32
+from ..ebpf.cost_model import Category
+from ..net.packet import Packet, XdpAction
+from .base import BaseNF
+
+#: Bit fetch + mask + test on the eBPF path (per hash).
+EBPF_BIT_OP = 7
+
+
+class BloomFilterNF(BaseNF):
+    """Flow allowlist: PASS members, DROP everything else."""
+
+    name = "Bloom filter"
+    category = "membership test"
+
+    def __init__(self, rt, n_bits: int = 1 << 16, n_hashes: int = 4) -> None:
+        super().__init__(rt)
+        if n_bits <= 0 or n_bits % 64:
+            raise ValueError("n_bits must be a positive multiple of 64")
+        if n_hashes <= 0:
+            raise ValueError("n_hashes must be positive")
+        self.n_bits = n_bits
+        self.n_hashes = n_hashes
+        self.words = [0] * (n_bits // 64)
+        self.hash = HashAlgos(rt, Category.MULTIHASH)
+        self.members = 0
+        self.nonmembers = 0
+
+    def _positions(self, key: int):
+        return [
+            fast_hash32(key, seed) % self.n_bits for seed in range(self.n_hashes)
+        ]
+
+    def add(self, key: int) -> None:
+        """Cost-charged insert (control path, but measurable)."""
+        self.fetch_state()
+        if self.is_ebpf:
+            self.rt.charge(
+                (self.costs.hash_scalar + EBPF_BIT_OP + self.costs.bounds_check)
+                * self.n_hashes,
+                Category.MULTIHASH,
+            )
+            for bit in self._positions(key):
+                self.words[bit // 64] |= 1 << (bit % 64)
+        else:
+            self.hash.hash_setbits(self.words, key, self.n_hashes)
+
+    def contains(self, key: int) -> bool:
+        self.fetch_state()
+        if self.is_ebpf:
+            self.rt.charge(
+                (self.costs.hash_scalar + EBPF_BIT_OP + self.costs.bounds_check)
+                * self.n_hashes,
+                Category.MULTIHASH,
+            )
+            return all(
+                self.words[bit // 64] >> (bit % 64) & 1
+                for bit in self._positions(key)
+            )
+        return self.hash.hash_testbits(self.words, key, self.n_hashes)
+
+    def process(self, packet: Packet) -> str:
+        if self.contains(packet.key_int):
+            self.members += 1
+            return XdpAction.PASS
+        self.nonmembers += 1
+        return XdpAction.DROP
+
+    def populate(self, keys) -> None:
+        """Uncosted bulk insert for workload setup."""
+        for key in keys:
+            for bit in self._positions(key):
+                self.words[bit // 64] |= 1 << (bit % 64)

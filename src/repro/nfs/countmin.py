@@ -1,0 +1,96 @@
+"""Case study 2: Count-min sketching ([15], §5.2, Fig. 3e).
+
+Per packet the sketch bumps one counter in each of ``depth`` rows, the
+row's column selected by an independent hash of the flow key — the O2
+(multiple hash functions) behavior.
+
+- pure eBPF: one software hash per row (no SIMD in the ISA);
+- eNetSTL:   ``hw_hash_crc`` when ``depth <= 2`` (a hardware CRC hash
+  per row), else the unified ``hash_simd_cnt`` kfunc — all hashes in
+  one SIMD batch, counters bumped in place, nothing copied back;
+- kernel:    the same minus the kfunc-call overhead.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.algorithms.hashing import HashAlgos, crc_hash32, fast_hash32
+from ..ebpf.cost_model import Category
+from ..net.packet import Packet, XdpAction
+from .base import BaseNF
+
+#: Row count below which a per-hash CRC beats the SIMD batch (§6.2).
+CRC_CUTOVER_DEPTH = 2
+
+
+class CountMinNF(BaseNF):
+    """Count-min sketch NF: update on every packet, query on demand."""
+
+    name = "count-min sketch"
+    category = "sketching"
+
+    def __init__(self, rt, depth: int = 4, width: int = 2048) -> None:
+        super().__init__(rt)
+        if depth <= 0 or width <= 0:
+            raise ValueError("depth and width must be positive")
+        self.depth = depth
+        self.width = width
+        self.rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self.hash = HashAlgos(rt, Category.MULTIHASH)
+        self.total = 0
+
+    def _fetch_state(self) -> None:
+        """Retrieve the sketch memory (map value / kptr instance)."""
+        self.rt.charge(self.costs.map_lookup, Category.FRAMEWORK)
+        if self.is_enetstl:
+            self.rt.charge(self.costs.null_check, Category.FRAMEWORK)
+
+    def _update(self, key: int) -> None:
+        costs = self.costs
+        if not self.is_ebpf and self.depth <= CRC_CUTOVER_DEPTH:
+            # Few hashes: hardware CRC per row, one kfunc crossing.
+            self.rt.charge(self.kfunc_overhead(), Category.MULTIHASH)
+            self.rt.charge(
+                (costs.hash_crc_hw + costs.counter_update) * self.depth,
+                Category.MULTIHASH,
+            )
+            for row in range(self.depth):
+                self.rows[row][crc_hash32(key, row) % self.width] += 1
+        else:
+            # hash_cnt charges scalar-per-hash in eBPF mode and
+            # SIMD-batch + kfunc in eNetSTL/kernel modes.
+            self.hash.hash_cnt(self.rows, key, self.depth)
+        self.total += 1
+
+    def process(self, packet: Packet) -> str:
+        self._fetch_state()
+        self._update(packet.key_int)
+        return XdpAction.DROP
+
+    def estimate(self, key: int) -> int:
+        """Point query: minimum over the key's counters (cost-charged)."""
+        self._fetch_state()
+        if not self.is_ebpf and self.depth <= CRC_CUTOVER_DEPTH:
+            self.rt.charge(self.kfunc_overhead(), Category.MULTIHASH)
+            self.rt.charge(
+                (self.costs.hash_crc_hw + self.costs.counter_update) * self.depth,
+                Category.MULTIHASH,
+            )
+            return min(
+                self.rows[row][crc_hash32(key, row) % self.width]
+                for row in range(self.depth)
+            )
+        return self.hash.hash_min_read(self.rows, key, self.depth)
+
+    def true_free_estimate(self, key: int) -> int:
+        """Uncosted estimate (for accuracy tests)."""
+        if not self.is_ebpf and self.depth <= CRC_CUTOVER_DEPTH:
+            return min(
+                self.rows[row][crc_hash32(key, row) % self.width]
+                for row in range(self.depth)
+            )
+        return min(
+            self.rows[row][fast_hash32(key, row) % self.width]
+            for row in range(self.depth)
+        )

@@ -1,0 +1,62 @@
+"""EFD-based load balancing (DPDK Elastic Flow Distributor, [20]).
+
+Per packet the balancer maps the flow to a backend: a group hash picks
+the flow group, then the group's perfect-hash seed evaluates the value
+hash — two hashes total, no key storage (O2 behavior).  The eBPF
+baseline computes both in software; eNetSTL/kernel use hardware CRC.
+"""
+
+from __future__ import annotations
+
+from ..datastructs.efd import EfdTable
+from ..ebpf.cost_model import Category
+from ..net.packet import Packet, XdpAction
+from .base import BaseNF
+
+#: Seed fetch + modulo on the lookup path.
+LOOKUP_MATH_COST = 6
+#: Fixed eBPF overhead around the two map-value derefs (calibrated).
+EBPF_FIXED_OVERHEAD = 18
+
+
+class EfdLoadBalancerNF(BaseNF):
+    """Stateless-lookup L4 load balancer over an EFD table."""
+
+    name = "EFD load balancer"
+    category = "load balancing"
+
+    def __init__(self, rt, n_groups: int = 1024, n_targets: int = 4) -> None:
+        super().__init__(rt)
+        self.table = EfdTable(n_groups=n_groups, n_targets=n_targets)
+        self.dispatched = [0] * n_targets
+
+    def _fetch_state(self) -> None:
+        self.rt.charge(self.costs.map_lookup, Category.FRAMEWORK)
+        if self.is_enetstl:
+            self.rt.charge(self.costs.null_check, Category.FRAMEWORK)
+
+    def lookup(self, key: int) -> int:
+        costs = self.costs
+        if self.is_ebpf:
+            self.rt.charge(2 * costs.hash_scalar, Category.MULTIHASH)
+            self.rt.charge(EBPF_FIXED_OVERHEAD, Category.FRAMEWORK)
+        else:
+            self.rt.charge(
+                2 * costs.hash_crc_hw + self.kfunc_overhead(), Category.MULTIHASH
+            )
+        self.rt.charge(LOOKUP_MATH_COST, Category.OTHER)
+        return self.table.lookup(key)
+
+    def process(self, packet: Packet) -> str:
+        self._fetch_state()
+        target = self.lookup(packet.key_int)
+        self.dispatched[target] += 1
+        return XdpAction.REDIRECT
+
+    def bind_flows(self, keys, target_of) -> int:
+        """Insert flow->backend bindings (control-plane path)."""
+        placed = 0
+        for key in keys:
+            if self.table.insert(key, target_of(key)):
+                placed += 1
+        return placed

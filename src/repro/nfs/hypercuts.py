@@ -1,0 +1,53 @@
+"""Extension NF: HyperCuts-style classification ([67]) — a Table 1 ✓.
+
+Decision-tree classification is bounded pointer-chasing plus linear
+leaf scans: the eBPF build issues essentially the same instructions as
+a kernel module, so (like Maglev) this NF reproduces the paper's
+"properly implementable in eBPF" rows.  eNetSTL adds nothing here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datastructs.hypercuts import HyperCutsTree
+from ..datastructs.tss import Rule
+from ..ebpf.cost_model import Category
+from ..net.packet import Packet, XdpAction
+from .base import BaseNF
+
+#: Child-index arithmetic + pointer chase per tree level.
+NODE_VISIT = 10
+#: Range compares for one leaf rule (5 dimensions).
+RULE_CMP = 11
+#: eBPF pays verifier bounds checks on the (array-encoded) tree walk.
+EBPF_NODE_EXTRA = 3
+
+
+class HyperCutsNF(BaseNF):
+    """Tree-based flow classifier: PASS permit matches, DROP the rest."""
+
+    name = "HyperCuts classifier"
+    category = "packet classification"
+
+    def __init__(self, rt, rules: Sequence[Rule], **tree_params) -> None:
+        super().__init__(rt)
+        self.tree = HyperCutsTree(rules, **tree_params)
+        self.matched = 0
+        self.unmatched = 0
+
+    def classify(self, packet: Packet):
+        self.fetch_state()
+        rule, visited, compared = self.tree.classify(packet)
+        per_node = NODE_VISIT + (EBPF_NODE_EXTRA if self.is_ebpf else 0)
+        self.rt.charge(per_node * visited, Category.OTHER)
+        self.rt.charge(RULE_CMP * compared, Category.OTHER)
+        return rule
+
+    def process(self, packet: Packet) -> str:
+        rule = self.classify(packet)
+        if rule is None:
+            self.unmatched += 1
+            return XdpAction.DROP
+        self.matched += 1
+        return XdpAction.PASS if rule.action == "permit" else XdpAction.DROP

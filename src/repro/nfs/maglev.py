@@ -1,0 +1,62 @@
+"""Maglev load balancer NF ([23]) — a Table 1 "OK" work.
+
+One of the four surveyed works eBPF implements *properly*: per packet
+it computes one flow hash and reads one preallocated array slot.  The
+reference (kernel) implementation uses the same software hash — there
+is no SIMD/multi-hash/bitmap behavior for eNetSTL to replace — so the
+three builds differ only in the map-access boundary, and the measured
+degradation stays within a few percent.  This NF exists to reproduce
+the ✓ rows of Table 1, the counterpoint to the 28 degraded works.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.algorithms.hashing import fast_hash32
+from ..datastructs.maglev import MaglevTable
+from ..ebpf.cost_model import Category
+from ..net.packet import Packet, XdpAction
+from .base import BaseNF
+
+DEFAULT_BACKENDS = tuple(f"backend-{i}" for i in range(8))
+#: Kernel-side direct read of the (percpu) lookup table entry.
+KERNEL_TABLE_READ = 6
+#: Maglev hashes the 5-tuple once, in software, in every build — the
+#: reference implementation is not CRC/SIMD-accelerated.
+FLOW_HASH_COST_KEY = "hash_scalar"
+
+
+class MaglevNF(BaseNF):
+    """Consistent-hashing backend selection."""
+
+    name = "Maglev"
+    category = "load balancing"
+
+    def __init__(
+        self,
+        rt,
+        backends: Sequence[str] = DEFAULT_BACKENDS,
+        table_size: int = 4099,
+    ) -> None:
+        super().__init__(rt)
+        self.table = MaglevTable(backends, table_size)
+        self.dispatched = {name: 0 for name in backends}
+
+    def select_backend(self, key: int) -> str:
+        costs = self.costs
+        # Same software hash everywhere (see module docstring).
+        self.rt.charge(costs.hash_scalar, Category.OTHER)
+        if self.is_ebpf:
+            # Array-map read through the helper boundary.
+            self.rt.charge(costs.percpu_array_lookup, Category.FRAMEWORK)
+        else:
+            self.rt.charge(
+                KERNEL_TABLE_READ + self.kfunc_overhead(), Category.FRAMEWORK
+            )
+        return self.table.lookup(fast_hash32(key, 903))
+
+    def process(self, packet: Packet) -> str:
+        backend = self.select_backend(packet.key_int)
+        self.dispatched[backend] += 1
+        return XdpAction.REDIRECT

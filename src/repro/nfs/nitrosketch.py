@@ -1,0 +1,116 @@
+"""NitroSketch ([45], Fig. 3d).
+
+NitroSketch makes count-min-style sketching cheap by updating each row
+only with probability ``p`` (scaling the increment by ``1/p`` keeps the
+estimator unbiased) — the O4 behavior (updating based on a random
+number).
+
+- pure eBPF: one ``bpf_get_prandom_u32`` helper call per packet (the
+  optimized formulation that derives per-row sampling bits from a
+  single draw) plus a threshold compare per row; sampled rows hash with
+  software hashes;
+- eNetSTL: *geometric* sampling from ``geo_rpool`` — each row keeps a
+  countdown of packets until its next update, so the common case per
+  row is a single decrement; fired rows draw fresh skip counts in one
+  batched kfunc and update through ``hw_hash_crc``;
+- kernel: same as eNetSTL minus kfunc overheads.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.algorithms.hashing import crc_hash32, fast_hash32
+from ..core.structures.random_pool import GeoRandomPool
+from ..ebpf.cost_model import Category
+from ..net.packet import Packet, XdpAction
+from .base import BaseNF
+
+#: Per-row threshold compare + branch in the eBPF per-packet loop.
+ROW_TEST_COST = 3
+#: eBPF row update extra: map-value offset arithmetic + verifier bounds
+#: re-checks around the sampled row's counter access (calibrated).
+EBPF_UPDATE_EXTRA = 14
+#: Per-row countdown decrement in the geometric formulation.
+COUNTDOWN_COST = 1
+
+
+class NitroSketchNF(BaseNF):
+    """Probabilistically-updated count-min sketch."""
+
+    name = "NitroSketch"
+    category = "sketching"
+
+    def __init__(
+        self, rt, depth: int = 8, width: int = 2048, update_prob: float = 0.25
+    ) -> None:
+        super().__init__(rt)
+        if not 0.0 < update_prob <= 1.0:
+            raise ValueError("update_prob must be in (0, 1]")
+        self.depth = depth
+        self.width = width
+        self.p = update_prob
+        self.rows: List[List[float]] = [[0.0] * width for _ in range(depth)]
+        self.total = 0
+        if self.is_ebpf:
+            self.pool = None
+            self._countdown = None
+        else:
+            self.pool = GeoRandomPool(rt, update_prob, category=Category.RANDOM)
+            # Packets remaining until each row's next update.
+            self._countdown = list(self.pool.draw_many(depth))
+
+    def _fetch_state(self) -> None:
+        self.rt.charge(self.costs.map_lookup, Category.FRAMEWORK)
+        if self.is_enetstl:
+            self.rt.charge(self.costs.null_check, Category.FRAMEWORK)
+
+    def _update_row(self, row: int, key: int) -> None:
+        costs = self.costs
+        if self.is_ebpf:
+            self.rt.charge(
+                costs.hash_scalar + EBPF_UPDATE_EXTRA, Category.MULTIHASH
+            )
+            col = fast_hash32(key, row) % self.width
+        else:
+            self.rt.charge(costs.hash_crc_hw, Category.MULTIHASH)
+            col = crc_hash32(key, row) % self.width
+        self.rt.charge(costs.counter_update, Category.MULTIHASH)
+        self.rows[row][col] += 1.0 / self.p
+
+    def process(self, packet: Packet) -> str:
+        self._fetch_state()
+        costs = self.costs
+        key = packet.key_int
+        if self.is_ebpf:
+            # One helper draw; rows sample from its bits.
+            draw = self.rt.prandom_u32(Category.RANDOM)
+            self.rt.charge(ROW_TEST_COST * self.depth, Category.RANDOM)
+            threshold = int(self.p * (1 << 32))
+            for row in range(self.depth):
+                if fast_hash32(draw, row) < threshold:
+                    self._update_row(row, key)
+        else:
+            self.rt.charge(COUNTDOWN_COST * self.depth, Category.RANDOM)
+            fired = []
+            for row in range(self.depth):
+                self._countdown[row] -= 1
+                if self._countdown[row] <= 0:
+                    fired.append(row)
+            if fired:
+                if self.is_enetstl:
+                    self.rt.charge(costs.kfunc_call, Category.MULTIHASH)
+                for row in fired:
+                    self._update_row(row, key)
+                for row, skip in zip(fired, self.pool.draw_many(len(fired))):
+                    self._countdown[row] = skip
+        self.total += 1
+        return XdpAction.DROP
+
+    def estimate(self, key: int) -> float:
+        """Median-free NitroSketch estimate: min over rows (uncosted)."""
+        if self.is_ebpf:
+            cols = [fast_hash32(key, row) % self.width for row in range(self.depth)]
+        else:
+            cols = [crc_hash32(key, row) % self.width for row in range(self.depth)]
+        return min(self.rows[row][cols[row]] for row in range(self.depth))

@@ -1,0 +1,31 @@
+"""Smoke tests for the CLI report generator (python -m repro.analysis)."""
+
+import pytest
+
+from repro.analysis.__main__ import RUNNERS, main
+
+
+class TestCli:
+    def test_selected_experiments_run(self, capsys):
+        assert main(["--only", "fig3e", "fig6", "--packets", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Count-min" in out
+        assert "degradation" in out
+        assert "experiment(s)" in out
+
+    def test_table_experiments(self, capsys):
+        assert main(["--only", "table2", "--packets", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "random_pool" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99"])
+
+    def test_runner_registry_covers_all_figures(self):
+        expected = {
+            "table1", "table2", "fig1", "fig3a", "fig3b", "fig3c", "fig3d",
+            "fig3e", "fig3f", "fig3g", "fig3h", "others", "fig45", "fig6",
+            "fig7",
+        }
+        assert set(RUNNERS) == expected

@@ -1,0 +1,59 @@
+"""Tests for the paper-target checker — the reproduction's own gate."""
+
+import pytest
+
+from repro.analysis.paper_targets import (
+    CheckResult,
+    SWEEP_RUNNERS,
+    TARGETS,
+    Target,
+    check_all,
+    render_check,
+)
+
+
+class TestTarget:
+    def test_check_inside_band(self):
+        t = Target("x", "m", 0.5, 0.4, 0.6)
+        assert t.check(0.5).ok
+        assert t.check(0.4).ok and t.check(0.6).ok
+        assert not t.check(0.39).ok
+        assert not t.check(0.61).ok
+
+    def test_describe(self):
+        result = Target("x", "m", 0.5, 0.4, 0.6).check(0.55)
+        text = result.describe()
+        assert "PASS" in text and "55" in text
+
+    def test_targets_cover_every_sweep(self):
+        assert set(TARGETS) == set(SWEEP_RUNNERS)
+
+    def test_bands_contain_paper_values(self):
+        """Our acceptance bands must be honest: each contains (or is
+        adjacent to) the paper's own value."""
+        for targets in TARGETS.values():
+            for t in targets:
+                if t.metric == "avg improvement":
+                    assert t.lo <= t.paper_value <= t.hi, t
+
+
+class TestCheckAll:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return check_all(n_packets=250)
+
+    def test_all_headline_metrics_pass(self, results):
+        failing = [r.describe() for r in results if not r.ok]
+        assert not failing, "\n".join(failing)
+
+    def test_coverage(self, results):
+        experiments = {r.target.experiment for r in results}
+        # Every figure/table with a quantitative headline is covered.
+        for expected in ("fig3e count-min", "fig1", "table2", "fig6",
+                         "fig7", "table1"):
+            assert any(expected in e for e in experiments), expected
+        assert len(results) == 30
+
+    def test_render(self, results):
+        text = render_check(results)
+        assert "30/30" in text.splitlines()[-1]

@@ -1,0 +1,70 @@
+"""Exact-value regression snapshots.
+
+The cost model is deterministic, so a handful of exact cycles-per-packet
+values pin the whole calibration: any accidental change to a cost
+constant or a charging path fails here first, with a clear diff.
+
+If you change the cost model *intentionally*, re-run
+``python -m repro.analysis --paper-check`` and update these snapshots.
+"""
+
+import pytest
+
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.net.flowgen import FlowGenerator
+from repro.net.xdp import XdpPipeline
+from repro.nfs import CountMinNF, EiffelNF, MaglevNF, VbfNF
+
+
+def cycles(nf_factory, mode, n_packets=200, seed=99):
+    trace = FlowGenerator(64, seed=seed).trace(n_packets)
+    nf = nf_factory(BpfRuntime(mode=mode, seed=seed))
+    return XdpPipeline(nf).run(trace).cycles_per_packet
+
+
+class TestSnapshots:
+    """Exact per-packet cycle counts for fixed-cost NFs."""
+
+    def test_countmin_depth8(self):
+        make = lambda rt: CountMinNF(rt, depth=8)
+        assert cycles(make, ExecMode.PURE_EBPF) == pytest.approx(714.0)
+        assert cycles(make, ExecMode.ENETSTL) == pytest.approx(417.0)
+        assert cycles(make, ExecMode.KERNEL) == pytest.approx(411.0)
+
+    def test_countmin_depth1_crc_cutover(self):
+        make = lambda rt: CountMinNF(rt, depth=1)
+        assert cycles(make, ExecMode.PURE_EBPF) == pytest.approx(210.0)
+        assert cycles(make, ExecMode.ENETSTL) == pytest.approx(175.0)
+
+    def test_eiffel_level2(self):
+        make = lambda rt: EiffelNF(rt, levels=2)
+        assert cycles(make, ExecMode.PURE_EBPF) == pytest.approx(216.0)
+        assert cycles(make, ExecMode.ENETSTL) == pytest.approx(190.0)
+
+    def test_maglev(self):
+        make = lambda rt: MaglevNF(rt)
+        ebpf = cycles(make, ExecMode.PURE_EBPF)
+        enet = cycles(make, ExecMode.ENETSTL)
+        assert ebpf == pytest.approx(186.0)
+        assert enet == pytest.approx(181.0)
+
+    def test_vbf(self):
+        make = lambda rt: VbfNF(rt)
+        # VBF traffic misses (no members populated): all-DROP path.
+        assert cycles(make, ExecMode.PURE_EBPF) == pytest.approx(226.0)
+
+
+class TestFrameworkBreakdown:
+    def test_framework_cost_is_exactly_dispatch_plus_parse(self):
+        rt = BpfRuntime(mode=ExecMode.KERNEL, seed=1)
+        nf = MaglevNF(rt)
+        trace = FlowGenerator(8, seed=1).trace(50)
+        result = XdpPipeline(nf).run(trace)
+        from repro.ebpf.cost_model import Category
+
+        framework = result.by_category.get(Category.FRAMEWORK, 0)
+        parse = result.by_category.get(Category.PARSE, 0)
+        assert parse == 50 * rt.costs.packet_parse
+        # Framework: dispatch + the table read per packet.
+        assert framework == 50 * (rt.costs.xdp_dispatch + 6 + rt.costs.kernel_call)

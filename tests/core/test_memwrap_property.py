@@ -1,0 +1,104 @@
+"""Property-based tests: the lazy-checking invariant under random ops.
+
+The invariant the memory wrapper must uphold (§4.2): after ANY sequence
+of alloc/connect/disconnect/release/disown operations, every out-slot
+of every live node is either NULL or points at a live node — so
+``get_next`` can never observe freed memory.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.memwrap import MemoryWrapper, NodeProxy
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+
+N_SLOTS = 2
+
+op = st.tuples(
+    st.sampled_from(["alloc", "connect", "disconnect", "free", "traverse"]),
+    st.integers(0, 31),
+    st.integers(0, 31),
+    st.integers(0, N_SLOTS - 1),
+)
+
+
+class Harness:
+    """Drives the wrapper like a (possibly buggy) eBPF program would."""
+
+    def __init__(self) -> None:
+        self.rt = BpfRuntime(mode=ExecMode.ENETSTL, seed=3)
+        self.w = MemoryWrapper(self.rt)
+        self.proxy = NodeProxy()
+        self.nodes = []          # all ever-allocated nodes (may be dead)
+
+    def live(self):
+        return [n for n in self.nodes if n.alive]
+
+    def apply(self, action, i, j, slot):
+        live = self.live()
+        if action == "alloc" or not live:
+            node = self.w.node_alloc(N_SLOTS, N_SLOTS, 8)
+            self.w.set_owner(self.proxy, node)
+            self.w.node_release(node)   # proxy now the only anchor
+            self.nodes.append(node)
+            return
+        a = live[i % len(live)]
+        b = live[j % len(live)]
+        if action == "connect":
+            self.w.node_connect(a, slot, b, slot)
+        elif action == "disconnect":
+            self.w.node_disconnect(a, slot)
+        elif action == "free":
+            # Free WITHOUT disconnecting anything first — the pattern
+            # lazy checking exists to make safe.
+            self.w.unset_owner(self.proxy, a)
+        elif action == "traverse":
+            nxt = self.w.get_next(a, slot)
+            if nxt is not None:
+                assert nxt.alive
+                self.w.node_release(nxt)
+
+    def check_invariant(self):
+        for node in self.live():
+            for out in node.outs:
+                assert out is None or out.alive, (
+                    "live node points at freed memory"
+                )
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(op, min_size=1, max_size=60))
+def test_no_dangling_pointers_ever(ops):
+    h = Harness()
+    for action, i, j, slot in ops:
+        h.apply(action, i, j, slot)
+        h.check_invariant()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(op, min_size=1, max_size=40))
+def test_traverse_never_faults(ops):
+    """get_next after arbitrary frees returns None or a live node."""
+    h = Harness()
+    for action, i, j, slot in ops:
+        h.apply(action, i, j, slot)
+    for node in h.live():
+        for slot in range(N_SLOTS):
+            nxt = h.w.get_next(node, slot)
+            if nxt is not None:
+                assert nxt.alive
+                h.w.node_release(nxt)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(op, min_size=1, max_size=40))
+def test_refcounts_stay_consistent(ops):
+    """After every op sequence, owned nodes have refcount >= 0 and dead
+    nodes are not owned by the proxy."""
+    h = Harness()
+    for action, i, j, slot in ops:
+        h.apply(action, i, j, slot)
+    for node in h.nodes:
+        assert node.refcount >= 0
+        if not node.alive:
+            assert not h.proxy.owns(node)

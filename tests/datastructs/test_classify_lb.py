@@ -1,0 +1,158 @@
+"""Tests for the TSS classifier and the EFD table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastructs.efd import EfdTable
+from repro.datastructs.tss import MaskTuple, Rule, TupleSpaceClassifier
+from repro.net.packet import PROTO_TCP, PROTO_UDP, Packet
+
+
+def pkt(src=0x0A000001, dst=0x0A000002, sp=1234, dp=80, proto=PROTO_TCP):
+    return Packet(src, dst, sp, dp, proto)
+
+
+def rule_for(p, mask, priority=0, action="permit"):
+    return Rule(
+        mask=mask,
+        src_ip=p.src_ip,
+        dst_ip=p.dst_ip,
+        src_port=p.src_port,
+        dst_port=p.dst_port,
+        proto=p.proto,
+        priority=priority,
+        action=action,
+    )
+
+
+class TestMaskTuple:
+    def test_exact_mask_identity(self):
+        m = MaskTuple()
+        p = pkt()
+        assert m.mask_packet(p) == p.five_tuple
+
+    def test_prefix_masking(self):
+        m = MaskTuple(src_prefix=24, dst_prefix=0,
+                      src_port_care=False, dst_port_care=True, proto_care=False)
+        masked = m.mask_packet(pkt(src=0x0A0000FF))
+        assert masked == (0x0A000000, 0, 0, 80, 0)
+
+    def test_invalid_prefix(self):
+        with pytest.raises(ValueError):
+            MaskTuple(src_prefix=33)
+
+
+class TestTupleSpaceClassifier:
+    def test_exact_match(self):
+        c = TupleSpaceClassifier()
+        p = pkt()
+        c.add_rule(rule_for(p, MaskTuple(), priority=5))
+        hit = c.classify(p)
+        assert hit is not None and hit.priority == 5
+        assert c.classify(pkt(dp=81)) is None
+
+    def test_wildcard_match(self):
+        c = TupleSpaceClassifier()
+        m = MaskTuple(src_prefix=24, dst_prefix=0,
+                      src_port_care=False, dst_port_care=False, proto_care=False)
+        c.add_rule(rule_for(pkt(src=0x0A000001), m))
+        # Any packet in 10.0.0.0/24 matches.
+        assert c.classify(pkt(src=0x0A0000FE, dp=9999, proto=PROTO_UDP))
+
+    def test_highest_priority_wins(self):
+        c = TupleSpaceClassifier()
+        p = pkt()
+        wild = MaskTuple(src_prefix=0, dst_prefix=0, src_port_care=False,
+                         dst_port_care=False, proto_care=False)
+        c.add_rule(rule_for(p, wild, priority=1, action="permit"))
+        c.add_rule(rule_for(p, MaskTuple(), priority=9, action="deny"))
+        assert c.classify(p).action == "deny"
+
+    def test_tuple_count(self):
+        c = TupleSpaceClassifier()
+        p = pkt()
+        c.add_rule(rule_for(p, MaskTuple()))
+        c.add_rule(rule_for(p, MaskTuple(src_prefix=24)))
+        c.add_rule(rule_for(pkt(dp=443), MaskTuple()))   # same mask
+        assert c.n_tuples == 2
+        assert c.n_rules == 3
+
+    def test_remove_rule(self):
+        c = TupleSpaceClassifier()
+        p = pkt()
+        r = rule_for(p, MaskTuple())
+        c.add_rule(r)
+        assert c.remove_rule(r)
+        assert c.classify(p) is None
+        assert not c.remove_rule(r)
+        assert c.n_tuples == 0
+
+    def test_same_key_keeps_higher_priority(self):
+        c = TupleSpaceClassifier()
+        p = pkt()
+        c.add_rule(rule_for(p, MaskTuple(), priority=3))
+        c.add_rule(rule_for(p, MaskTuple(), priority=1))
+        assert c.classify(p).priority == 3
+
+
+class TestEfdTable:
+    def test_insert_then_lookup_returns_target(self):
+        t = EfdTable(64, 4)
+        assert t.insert(42, 3)
+        assert t.lookup(42) == 3
+
+    def test_many_flows(self):
+        t = EfdTable(256, 4)
+        bindings = {k * 31 + 7: k % 4 for k in range(400)}
+        for key, target in bindings.items():
+            assert t.insert(key, target), key
+        for key, target in bindings.items():
+            assert t.lookup(key) == target
+
+    def test_group_reseeding_preserves_members(self):
+        """Inserting into a group re-searches its seed; existing members
+        must keep their targets."""
+        t = EfdTable(2, 2, seed_search_bound=1 << 20)
+        keys = list(range(12))
+        targets = {}
+        for k in keys:
+            if t.insert(k, k % 2):
+                targets[k] = k % 2
+        for k, target in targets.items():
+            assert t.lookup(k) == target
+
+    def test_unknown_key_still_returns_some_target(self):
+        t = EfdTable(64, 4)
+        t.insert(1, 2)
+        assert 0 <= t.lookup(999_999) < 4
+
+    def test_delete(self):
+        t = EfdTable(64, 4)
+        t.insert(5, 1)
+        assert t.delete(5)
+        assert not t.delete(5)
+
+    def test_saturated_group_fails_cleanly(self):
+        t = EfdTable(1, 256, seed_search_bound=4)   # near-impossible search
+        results = [t.insert(k, (k * 7) % 256) for k in range(6)]
+        assert not all(results)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EfdTable(100, 4)      # not power of two
+        with pytest.raises(ValueError):
+            EfdTable(64, 1)
+        t = EfdTable(64, 4)
+        with pytest.raises(ValueError):
+            t.insert(1, 4)
+
+    @given(st.dictionaries(st.integers(0, 5000), st.integers(0, 3), max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_lookup_is_consistent_property(self, bindings):
+        t = EfdTable(128, 4)
+        placed = {}
+        for key, target in bindings.items():
+            if t.insert(key, target):
+                placed[key] = target
+        for key, target in placed.items():
+            assert t.lookup(key) == target

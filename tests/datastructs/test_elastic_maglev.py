@@ -1,0 +1,78 @@
+"""Tests for ElasticSketch (the Maglev table has its own NF test file)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastructs.elastic import ElasticSketch
+
+
+class TestElasticSketch:
+    def test_single_flow_counts_exactly(self):
+        es = ElasticSketch(heavy_buckets=64, light_width=256)
+        for _ in range(100):
+            es.update(42)
+        assert es.estimate(42) == 100
+
+    def test_elephant_survives_mouse_collisions(self):
+        es = ElasticSketch(heavy_buckets=1, light_width=256, lam=8)
+        for _ in range(100):
+            es.update(1)          # the elephant owns the only bucket
+        for mouse in range(2, 10):
+            es.update(mouse)      # 8 single-packet mice
+        # 8 negatives < 8 * 100 positives: the elephant stays resident.
+        assert es.estimate(1) == 100
+        assert es.heavy_flows() == [(1, 100)]
+
+    def test_eviction_when_votes_exceed_threshold(self):
+        es = ElasticSketch(heavy_buckets=1, light_width=256, lam=2)
+        es.update(1)              # resident with positive=1
+        es.update(2)              # negative=1 < 2
+        result = es.update(2)     # negative=2 >= 2*1: eviction
+        assert result == "evict"
+        # The old resident's count moved to the light part.
+        assert es.estimate(1) >= 1
+        # The new resident is in the heavy part.
+        assert any(key == 2 for key, _ in es.heavy_flows())
+
+    def test_estimates_never_underestimate(self):
+        es = ElasticSketch(heavy_buckets=16, light_width=1024)
+        truth = {}
+        for i in range(3000):
+            key = i % 50
+            es.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert es.estimate(key) >= count * 0.9   # light-part sharing
+            # In fact Elastic never undercounts a key's own packets:
+            # heavy counts are exact and light cells only aggregate.
+            assert es.estimate(key) >= count - 0
+
+    def test_paths_reported(self):
+        es = ElasticSketch(heavy_buckets=4, light_width=64, lam=2)
+        paths = {es.update(i % 11) for i in range(200)}
+        assert "heavy" in paths
+        assert "light" in paths or "evict" in paths
+
+    def test_occupancy(self):
+        es = ElasticSketch(heavy_buckets=64, light_width=256)
+        assert es.heavy_occupancy == 0.0
+        es.update(1)
+        assert es.heavy_occupancy == pytest.approx(1 / 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElasticSketch(heavy_buckets=0)
+        with pytest.raises(ValueError):
+            ElasticSketch(lam=0)
+
+    @given(st.lists(st.integers(0, 40), min_size=1, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_no_underestimates_property(self, stream):
+        es = ElasticSketch(heavy_buckets=8, light_width=512, lam=4)
+        truth = {}
+        for key in stream:
+            es.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        assert es.total == len(stream)
+        for key, count in truth.items():
+            assert es.estimate(key) >= count

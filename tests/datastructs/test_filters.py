@@ -1,0 +1,129 @@
+"""Tests for the membership structures: cuckoo filter, Bloom, vBF."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastructs.bloom import BloomFilter, VectorBloomFilter
+from repro.datastructs.cuckoo_filter import CuckooFilter
+
+
+class TestCuckooFilter:
+    def test_insert_contains(self):
+        cf = CuckooFilter(256)
+        assert cf.insert(42)
+        assert cf.contains(42)
+
+    def test_no_false_negatives(self):
+        cf = CuckooFilter(1024)
+        keys = [k * 2654435761 + 7 for k in range(2000)]
+        inserted = [k for k in keys if cf.insert(k)]
+        assert len(inserted) == len(keys)
+        assert all(cf.contains(k) for k in inserted)
+
+    def test_false_positive_rate_bounded(self):
+        cf = CuckooFilter(4096, fingerprint_bits=16)
+        for k in range(8000):
+            cf.insert(k)
+        absent = range(1_000_000, 1_020_000)
+        fps = sum(1 for k in absent if cf.contains(k))
+        assert fps / 20_000 < 0.01   # 16-bit fingerprints: well under 1%
+
+    def test_delete(self):
+        cf = CuckooFilter(256)
+        cf.insert(7)
+        assert cf.delete(7)
+        assert not cf.contains(7)
+        assert not cf.delete(7)
+
+    def test_load_factor(self):
+        cf = CuckooFilter(64, 4)
+        for k in range(128):
+            cf.insert(k)
+        assert cf.load_factor == pytest.approx(0.5)
+
+    def test_partial_key_relocation_consistent(self):
+        """alt_index(alt_index(i, fp), fp) == i — the xor trick."""
+        cf = CuckooFilter(1024)
+        for key in range(500):
+            fp = cf.fingerprint(key)
+            i1 = cf.index1(key)
+            i2 = cf.alt_index(i1, fp)
+            assert cf.alt_index(i2, fp) == i1
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CuckooFilter(100)            # not a power of two
+        with pytest.raises(ValueError):
+            CuckooFilter(64, fingerprint_bits=2)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(1 << 14, 4)
+        keys = list(range(0, 3000, 3))
+        for k in keys:
+            bf.add(k)
+        assert all(k in bf for k in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter(1 << 15, 4)
+        for k in range(2000):
+            bf.add(k)
+        fps = sum(1 for k in range(100_000, 120_000) if k in bf)
+        assert fps / 20_000 < 0.05
+
+    def test_expected_fpr_tracks_fill(self):
+        bf = BloomFilter(1 << 12, 4)
+        assert bf.expected_fpr() == 0.0
+        for k in range(500):
+            bf.add(k)
+        assert 0.0 < bf.expected_fpr() < 1.0
+
+    def test_bit_size_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(100, 4)   # not a multiple of 64
+        with pytest.raises(ValueError):
+            BloomFilter(64, 0)
+
+
+class TestVectorBloomFilter:
+    def test_set_membership(self):
+        vbf = VectorBloomFilter(n_sets=8)
+        vbf.add(100, set_id=3)
+        assert vbf.lookup(100) == 3
+        assert vbf.query(100) & (1 << 3)
+
+    def test_absent_key_mostly_empty_mask(self):
+        vbf = VectorBloomFilter(n_sets=8, n_bits=1 << 14)
+        for k in range(500):
+            vbf.add(k, k % 8)
+        misses = sum(1 for k in range(50_000, 52_000) if vbf.lookup(k) is None)
+        assert misses / 2000 > 0.9
+
+    def test_no_false_negatives_per_set(self):
+        vbf = VectorBloomFilter(n_sets=4, n_bits=1 << 14)
+        assignments = {k: k % 4 for k in range(1000)}
+        for k, s in assignments.items():
+            vbf.add(k, s)
+        for k, s in assignments.items():
+            assert vbf.query(k) & (1 << s)
+
+    def test_invalid_set_id(self):
+        vbf = VectorBloomFilter(n_sets=4)
+        with pytest.raises(ValueError):
+            vbf.add(1, 4)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            VectorBloomFilter(n_sets=0)
+        with pytest.raises(ValueError):
+            VectorBloomFilter(n_sets=65)
+
+    @given(st.sets(st.integers(0, 10_000), max_size=80))
+    @settings(max_examples=40, deadline=None)
+    def test_added_keys_always_found(self, keys):
+        vbf = VectorBloomFilter(n_sets=8, n_bits=1 << 12)
+        for k in keys:
+            vbf.add(k, k % 8)
+        for k in keys:
+            assert vbf.query(k) & (1 << (k % 8))

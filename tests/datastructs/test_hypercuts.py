@@ -1,0 +1,136 @@
+"""Tests for the HyperCuts decision-tree classifier."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.experiments import make_rules_for_flows
+from repro.datastructs.hypercuts import (
+    HyperCutsTree,
+    rule_matches,
+    rule_ranges,
+)
+from repro.datastructs.tss import MaskTuple, Rule, TupleSpaceClassifier
+from repro.net.flowgen import FlowGenerator
+from repro.net.packet import PROTO_TCP, Packet
+
+
+def pkt(src=0x0A000001, dst=0x0A000002, sp=1234, dp=80, proto=PROTO_TCP):
+    return Packet(src, dst, sp, dp, proto)
+
+
+def rule_for(p, mask=None, priority=0, action="permit"):
+    return Rule(
+        mask=mask or MaskTuple(),
+        src_ip=p.src_ip,
+        dst_ip=p.dst_ip,
+        src_port=p.src_port,
+        dst_port=p.dst_port,
+        proto=p.proto,
+        priority=priority,
+        action=action,
+    )
+
+
+class TestRuleGeometry:
+    def test_exact_rule_is_a_point(self):
+        ranges = rule_ranges(rule_for(pkt()))
+        assert all(lo == hi for lo, hi in ranges)
+
+    def test_prefix_rule_spans_block(self):
+        mask = MaskTuple(src_prefix=24, dst_prefix=0,
+                         src_port_care=False, dst_port_care=False,
+                         proto_care=False)
+        ranges = rule_ranges(rule_for(pkt(src=0x0A0000FF), mask))
+        assert ranges[0] == (0x0A000000, 0x0A0000FF)
+        assert ranges[1] == (0, 0xFFFFFFFF)
+        assert ranges[2] == (0, 0xFFFF)
+
+    def test_rule_matches_agrees_with_mask(self):
+        mask = MaskTuple(src_prefix=16, dst_prefix=32,
+                         src_port_care=False, dst_port_care=True,
+                         proto_care=True)
+        rule = rule_for(pkt(), mask)
+        assert rule_matches(rule, pkt(src=0x0A00FFFF, sp=9))
+        assert not rule_matches(rule, pkt(dst=0x0A000003))
+
+
+class TestTree:
+    def _rules(self, n=256, seed=13):
+        flows = FlowGenerator(n, seed=seed).flows
+        return make_rules_for_flows(flows)
+
+    def test_matches_tss_reference(self):
+        rules = self._rules(256)
+        tree = HyperCutsTree(rules)
+        tss = TupleSpaceClassifier()
+        for r in rules:
+            tss.add_rule(r)
+        probes = FlowGenerator(256, seed=13).trace(400)
+        for p in probes:
+            tree_hit, _, _ = tree.classify(p)
+            tss_hit = tss.classify(p)
+            assert (tree_hit is None) == (tss_hit is None)
+            if tree_hit is not None:
+                # Same priority match (ties may differ in identity).
+                assert tree_hit.priority == tss_hit.priority
+
+    def test_leaf_size_bounded_by_binth_or_depth(self):
+        rules = self._rules(512)
+        tree = HyperCutsTree(rules, binth=8, max_depth=12)
+
+        def check(node):
+            if node.is_leaf:
+                return len(node.rules)
+            return max(check(c) for c in node.children)
+
+        # Leaves may exceed binth only when identical rules can't split.
+        assert check(tree.root) <= 64
+
+    def test_classification_cost_is_logarithmic(self):
+        rules = self._rules(512)
+        tree = HyperCutsTree(rules)
+        _, visited, compared = tree.classify(pkt())
+        assert visited <= tree.depth
+        assert compared <= 64
+
+    def test_unmatched_packet_returns_none(self):
+        tree = HyperCutsTree(self._rules(64))
+        rule, _, _ = tree.classify(pkt(src=0xDEAD0000, dst=0xBEEF0000,
+                                       sp=1, dp=2, proto=99))
+        assert rule is None
+
+    def test_priority_order_within_leaf(self):
+        base = pkt()
+        wild = MaskTuple(src_prefix=0, dst_prefix=0, src_port_care=False,
+                         dst_port_care=False, proto_care=False)
+        rules = [
+            rule_for(base, wild, priority=1, action="permit"),
+            rule_for(base, priority=9, action="deny"),
+        ]
+        tree = HyperCutsTree(rules)
+        hit, _, _ = tree.classify(base)
+        assert hit.action == "deny"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HyperCutsTree([], binth=0)
+        with pytest.raises(ValueError):
+            HyperCutsTree([], n_cuts=1)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1),
+           st.integers(0, 0xFFFF), st.integers(0, 0xFFFF),
+           st.integers(0, 0xFF))
+    @settings(max_examples=60, deadline=None)
+    def test_tree_never_misses_a_matching_rule(self, src, dst, sp, dp, proto):
+        rules = self._rules(128)
+        tree = HyperCutsTree(rules)
+        probe = Packet(src, dst, sp, dp, proto)
+        brute = max(
+            (r for r in rules if rule_matches(r, probe)),
+            key=lambda r: r.priority,
+            default=None,
+        )
+        hit, _, _ = tree.classify(probe)
+        assert (hit is None) == (brute is None)
+        if hit is not None:
+            assert hit.priority == brute.priority

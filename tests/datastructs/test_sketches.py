@@ -1,0 +1,168 @@
+"""Tests for count-min, HeavyKeeper, and the top-k heap."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datastructs.countmin import CountMinSketch
+from repro.datastructs.heap import TopKHeap
+from repro.datastructs.heavykeeper import HeavyKeeper
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        cm = CountMinSketch(4, 512)
+        truth = {}
+        for k in range(200):
+            for _ in range(k % 7 + 1):
+                cm.update(k)
+                truth[k] = truth.get(k, 0) + 1
+        for k, count in truth.items():
+            assert cm.estimate(k) >= count
+
+    def test_exact_when_sparse(self):
+        cm = CountMinSketch(4, 4096)
+        cm.update(1, 5)
+        cm.update(2, 3)
+        assert cm.estimate(1) == 5
+        assert cm.estimate(2) == 3
+
+    def test_merge(self):
+        a, b = CountMinSketch(4, 256), CountMinSketch(4, 256)
+        a.update(7, 2)
+        b.update(7, 3)
+        a.merge(b)
+        assert a.estimate(7) == 5
+        assert a.total == 5
+
+    def test_merge_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(4, 256).merge(CountMinSketch(2, 256))
+
+    def test_error_bound_scales_with_total(self):
+        cm = CountMinSketch(4, 1024)
+        for k in range(1000):
+            cm.update(k)
+        assert cm.error_bound() == pytest.approx(2.718281828 / 1024 * 1000)
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(0, 10)
+        with pytest.raises(ValueError):
+            CountMinSketch(4, 0)
+
+    @given(st.dictionaries(st.integers(0, 100), st.integers(1, 20), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_overestimate_property(self, truth):
+        cm = CountMinSketch(4, 2048)
+        for key, count in truth.items():
+            cm.update(key, count)
+        for key, count in truth.items():
+            estimate = cm.estimate(key)
+            assert estimate >= count
+            assert estimate <= count + cm.total   # trivially bounded
+
+
+class TestTopKHeap:
+    def test_tracks_topk(self):
+        h = TopKHeap(3)
+        for key, count in [(1, 10), (2, 5), (3, 8), (4, 20), (5, 1)]:
+            h.offer(key, count)
+        top = h.topk()
+        assert [k for _, k in top] == [4, 1, 3]
+
+    def test_min_rejected_when_full(self):
+        h = TopKHeap(2)
+        h.offer(1, 10)
+        h.offer(2, 20)
+        assert not h.offer(3, 5)
+        assert 3 not in h
+
+    def test_eviction(self):
+        h = TopKHeap(2)
+        h.offer(1, 10)
+        h.offer(2, 20)
+        assert h.offer(3, 15)
+        assert 1 not in h and 3 in h
+
+    def test_increment(self):
+        h = TopKHeap(4)
+        h.offer(1, 5)
+        assert h.increment(1, 3)
+        assert h.count_of(1) == 8
+        assert not h.increment(99)
+
+    def test_offer_existing_key_raises_count(self):
+        h = TopKHeap(4)
+        h.offer(1, 5)
+        h.offer(1, 9)
+        assert h.count_of(1) == 9
+        h.offer(1, 2)              # lower counts never shrink the entry
+        assert h.count_of(1) == 9
+
+    def test_min(self):
+        h = TopKHeap(4)
+        assert h.min() is None
+        h.offer(1, 5)
+        h.offer(2, 3)
+        assert h.min() == (3, 2)
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 100)),
+                    max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_heap_invariant_and_membership(self, offers):
+        h = TopKHeap(8)
+        best = {}
+        for key, count in offers:
+            h.offer(key, count)
+            best[key] = max(best.get(key, 0), count)
+        # Heap property: parent <= children.
+        heap = h._heap
+        for i in range(1, len(heap)):
+            assert heap[(i - 1) // 2][0] <= heap[i][0]
+        # Every tracked key reports its best offered count.
+        for count, key in heap:
+            assert count == best[key]
+
+
+class TestHeavyKeeper:
+    def test_detects_elephants(self):
+        hk = HeavyKeeper(depth=2, width=1024, k=8, seed=5)
+        # 4 elephants, 200 mice.
+        for _ in range(300):
+            for elephant in (1, 2, 3, 4):
+                hk.update(elephant)
+        for mouse in range(100, 300):
+            hk.update(mouse)
+        top_keys = {k for _, k in hk.topk()[:4]}
+        assert top_keys == {1, 2, 3, 4}
+
+    def test_estimate_close_for_heavy_flows(self):
+        hk = HeavyKeeper(depth=2, width=2048, seed=5)
+        for _ in range(500):
+            hk.update(42)
+        assert hk.estimate(42) >= 400   # decay may shave a little
+
+    def test_mice_stay_small(self):
+        hk = HeavyKeeper(depth=2, width=2048, seed=5)
+        for _ in range(1000):
+            hk.update(1)
+        hk.update(9999)
+        assert hk.estimate(9999) <= 2
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            HeavyKeeper(depth=0)
+        with pytest.raises(ValueError):
+            HeavyKeeper(decay_base=1.0)
+
+    def test_injected_randomness_used(self):
+        calls = []
+
+        def rigged():
+            calls.append(1)
+            return 0.0   # always decay
+
+        hk = HeavyKeeper(depth=1, width=1, rand=rigged)  # force collisions
+        hk.update(1)
+        hk.update(2)   # collides with 1's bucket -> decay test
+        assert calls

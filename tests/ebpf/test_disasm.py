@@ -1,0 +1,73 @@
+"""Tests for the IR disassembler."""
+
+import pytest
+
+from repro.ebpf.disasm import disassemble, disassemble_one
+from repro.ebpf.insn import (
+    Alu,
+    Call,
+    Exit,
+    Imm,
+    Jmp,
+    JmpIf,
+    Load,
+    Mov,
+    Program,
+    Store,
+    R0,
+    R1,
+    R2,
+    R10,
+)
+
+
+class TestDisassembleOne:
+    @pytest.mark.parametrize(
+        "insn,expected",
+        [
+            (Mov(R0, Imm(42)), "r0 = 42"),
+            (Mov(R0, R2), "r0 = r2"),
+            (Alu("add", R1, Imm(8)), "r1 += 8"),
+            (Alu("lsh", R2, R1), "r2 <<= r1"),
+            (Load(R0, R10, -8), "r0 = *(u64 *)(r10 -8)"),
+            (Store(R10, -16, Imm(7)), "*(u64 *)(r10 -16) = 7"),
+            (Store(R2, 0, R1), "*(u64 *)(r2 +0) = r1"),
+            (Call("node_alloc"), "call node_alloc"),
+            (Jmp(5), "goto 5"),
+            (JmpIf("ne", R0, Imm(0), 3), "if r0 != 0 goto 3"),
+            (Exit(), "exit"),
+        ],
+    )
+    def test_rendering(self, insn, expected):
+        assert disassemble_one(insn) == expected
+
+
+class TestDisassembleProgram:
+    def test_numbered_listing(self):
+        prog = Program(
+            [Mov(R0, Imm(1)), JmpIf("eq", R0, Imm(0), 3), Alu("add", R0, Imm(1)),
+             Exit()],
+            name="demo",
+        )
+        text = disassemble(prog)
+        lines = text.splitlines()
+        assert lines[0] == "; program demo (4 insns)"
+        assert lines[1].strip().startswith("0: r0 = 1")
+        assert lines[-1].strip().endswith("exit")
+
+    def test_every_insn_kind_covered(self):
+        prog = Program(
+            [
+                Mov(R1, Imm(64)),
+                Call("bpf_obj_new"),
+                JmpIf("eq", R0, Imm(0), 7),
+                Mov(R2, R0),
+                Store(R10, -8, Imm(0)),
+                Load(R1, R10, -8),
+                Jmp(7),
+                Exit(),
+            ]
+        )
+        text = disassemble(prog)
+        for fragment in ("call", "goto", "exit", "*(u64 *)"):
+            assert fragment in text

@@ -1,0 +1,226 @@
+"""VM tests: verified programs run correctly; faults are caught."""
+
+import pytest
+
+from repro.ebpf.insn import (
+    Alu,
+    Call,
+    Exit,
+    Imm,
+    Jmp,
+    JmpIf,
+    Load,
+    Mov,
+    Program,
+    Store,
+    R0,
+    R1,
+    R2,
+    R3,
+    R6,
+    R10,
+)
+from repro.ebpf.kfunc_meta import (
+    ARG_CONST,
+    ARG_KPTR,
+    KF_ACQUIRE,
+    KF_RELEASE,
+    KF_RET_NULL,
+    RET_KPTR,
+    RET_VOID,
+    default_registry,
+)
+from repro.ebpf.verifier import Verifier
+from repro.ebpf.vm import KernelObject, Pointer, Vm, VmFault
+
+
+@pytest.fixture
+def registry():
+    reg = default_registry()
+
+    def obj_new_impl(vm, size):
+        obj = KernelObject(int(size), tag="obj")
+        vm.live_objects.append(obj)
+        return Pointer(obj)
+
+    def obj_drop_impl(vm, ptr):
+        ptr.region.free()
+
+    # Bind implementations to the stock alloc/free kfuncs.
+    reg.get("bpf_obj_new").__dict__  # frozen; rebuild instead
+    return reg
+
+
+def make_registry_with_impls():
+    from repro.ebpf.kfunc_meta import KfuncRegistry
+
+    reg = KfuncRegistry()
+
+    def obj_new_impl(vm, size):
+        obj = KernelObject(int(size), tag="obj")
+        vm.live_objects.append(obj)
+        return Pointer(obj)
+
+    def obj_drop_impl(vm, ptr):
+        ptr.region.free()
+
+    reg.define("bpf_get_prandom_u32", impl=lambda vm: 0x1234)
+    reg.define(
+        "obj_new",
+        args=(ARG_CONST,),
+        ret=RET_KPTR,
+        flags=(KF_ACQUIRE, KF_RET_NULL),
+        impl=obj_new_impl,
+    )
+    reg.define(
+        "obj_drop", args=(ARG_KPTR,), ret=RET_VOID, flags=(KF_RELEASE,),
+        impl=obj_drop_impl,
+    )
+    return reg
+
+
+def run_verified(registry, *insns):
+    prog = Program(list(insns), name="t")
+    Verifier(registry).verify(prog)
+    return Vm(registry).run(prog)
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        reg = make_registry_with_impls()
+        assert run_verified(
+            reg,
+            Mov(R0, Imm(6)),
+            Alu("mul", R0, Imm(7)),
+            Exit(),
+        ) == 42
+
+    def test_stack_roundtrip(self):
+        reg = make_registry_with_impls()
+        assert run_verified(
+            reg,
+            Store(R10, -8, Imm(99)),
+            Load(R0, R10, -8),
+            Exit(),
+        ) == 99
+
+    def test_branching(self):
+        reg = make_registry_with_impls()
+        assert run_verified(
+            reg,
+            Mov(R0, Imm(5)),
+            JmpIf("gt", R0, Imm(3), 3),
+            Exit(),
+            Mov(R0, Imm(1)),
+            Exit(),
+        ) == 1
+
+    def test_kfunc_scalar_result(self):
+        reg = make_registry_with_impls()
+        assert run_verified(reg, Call("bpf_get_prandom_u32"), Exit()) == 0x1234
+
+    def test_wraparound_64bit(self):
+        reg = make_registry_with_impls()
+        assert run_verified(
+            reg,
+            Mov(R0, Imm(0)),
+            Alu("sub", R0, Imm(1)),
+            Exit(),
+        ) == (1 << 64) - 1
+
+    def test_kernel_object_write_read(self):
+        """Alloc, null-check, write, read back, release — Listing-3 shape."""
+        reg = make_registry_with_impls()
+        result = run_verified(
+            reg,
+            Mov(R1, Imm(16)),
+            Call("obj_new"),
+            JmpIf("ne", R0, Imm(0), 5),
+            Mov(R0, Imm(0)),
+            Exit(),
+            Mov(R6, R0),
+            Store(R6, 0, Imm(77)),
+            Load(R3, R6, 0),
+            Store(R10, -8, R3),
+            Mov(R1, R6),
+            Call("obj_drop"),
+            Load(R0, R10, -8),
+            Exit(),
+        )
+        assert result == 77
+
+    def test_pointer_spill_fill(self):
+        reg = make_registry_with_impls()
+        result = run_verified(
+            reg,
+            Mov(R2, R10),
+            Store(R10, -8, R2),
+            Load(R3, R10, -8),
+            Store(R3, -16, Imm(5)),
+            Load(R0, R10, -16),
+            Exit(),
+        )
+        assert result == 5
+
+
+class TestRuntimeFaults:
+    """Unverified programs fault at runtime (defense in depth)."""
+
+    def _vm(self):
+        return Vm(make_registry_with_impls())
+
+    def test_division_by_zero_faults(self):
+        prog = Program([Mov(R0, Imm(1)), Mov(R2, Imm(0)),
+                        Alu("div", R0, R2), Exit()])
+        with pytest.raises(VmFault, match="division by zero"):
+            self._vm().run(prog)
+
+    def test_stack_oob_faults(self):
+        prog = Program([Store(R10, -600, Imm(1)), Mov(R0, Imm(0)), Exit()])
+        with pytest.raises(VmFault, match="out of bounds"):
+            self._vm().run(prog)
+
+    def test_use_after_free_faults(self):
+        """The VM catches what an unverified program could do."""
+        prog = Program([
+            Mov(R1, Imm(8)),
+            Call("obj_new"),
+            Mov(R6, R0),
+            Mov(R1, R6),
+            Call("obj_drop"),
+            Load(R0, R6, 0),   # verified programs can never reach this
+            Exit(),
+        ])
+        with pytest.raises(VmFault, match="use-after-free"):
+            self._vm().run(prog)
+
+    def test_runaway_program_step_limit(self):
+        prog = Program([Mov(R0, Imm(0)), Jmp(0), Exit()])
+        with pytest.raises(VmFault, match="step limit"):
+            self._vm().run(prog, max_steps=50)
+
+    def test_exit_with_pointer_faults(self):
+        prog = Program([Mov(R2, R10), Mov(R0, R2), Exit()])
+        # Mov into R0 of a pointer then exit.
+        with pytest.raises(VmFault, match="pointer in R0"):
+            self._vm().run(prog)
+
+
+class TestVerifierVmAgreement:
+    """Programs the verifier accepts never fault in the VM."""
+
+    @pytest.mark.parametrize("value", [0, 1, 41, 2 ** 32])
+    def test_conditional_writes(self, value):
+        reg = make_registry_with_impls()
+        result = run_verified(
+            reg,
+            Mov(R0, Imm(value)),
+            JmpIf("ge", R0, Imm(42), 5),
+            Mov(R0, Imm(0)),
+            Store(R10, -8, R0),
+            Jmp(6),
+            Store(R10, -8, Imm(1)),
+            Load(R0, R10, -8),
+            Exit(),
+        )
+        assert result == (1 if value >= 42 else 0)

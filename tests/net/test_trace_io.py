@@ -1,0 +1,85 @@
+"""Tests for trace CSV persistence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.flowgen import FlowGenerator
+from repro.net.packet import Packet
+from repro.net.trace import (
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+)
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        trace = FlowGenerator(32, seed=4).trace(100, inter_arrival_ns=50)
+        path = tmp_path / "trace.csv"
+        assert dump_trace(trace, path) == 100
+        loaded = load_trace(path)
+        assert loaded == trace
+
+    def test_string_round_trip(self):
+        trace = FlowGenerator(8, seed=4).trace(25)
+        assert loads_trace(dumps_trace(trace)) == trace
+
+    def test_empty_trace(self):
+        assert loads_trace(dumps_trace([])) == []
+
+    @given(
+        st.lists(
+            st.builds(
+                Packet,
+                src_ip=st.integers(0, 0xFFFFFFFF),
+                dst_ip=st.integers(0, 0xFFFFFFFF),
+                src_port=st.integers(0, 0xFFFF),
+                dst_port=st.integers(0, 0xFFFF),
+                proto=st.integers(0, 255),
+                size=st.integers(64, 1500),
+                timestamp_ns=st.integers(0, 10**12),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_property(self, trace):
+        assert loads_trace(dumps_trace(trace)) == trace
+
+
+class TestValidation:
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="not a trace file"):
+            loads_trace("a,b,c\n1,2,3\n")
+
+    def test_bad_field_count_rejected(self):
+        text = dumps_trace(FlowGenerator(2, seed=1).trace(1))
+        with pytest.raises(ValueError, match="expected 7 fields"):
+            loads_trace(text + "1,2,3\n")
+
+    def test_non_integer_rejected(self):
+        text = dumps_trace([]) + "a,b,c,d,e,f,g\n"
+        with pytest.raises(ValueError, match="line 2"):
+            loads_trace(text)
+
+    def test_invalid_packet_values_propagate(self):
+        text = dumps_trace([]) + "99999999999,0,0,0,17,64,0\n"
+        with pytest.raises(ValueError):
+            loads_trace(text)
+
+    def test_replay_produces_identical_measurements(self, tmp_path):
+        """A persisted trace reproduces the exact cycle counts."""
+        from repro.ebpf.cost_model import ExecMode
+        from repro.ebpf.runtime import BpfRuntime
+        from repro.net.xdp import XdpPipeline
+        from repro.nfs import CountMinNF
+
+        trace = FlowGenerator(64, seed=4).trace(300)
+        path = tmp_path / "t.csv"
+        dump_trace(trace, path)
+        results = []
+        for t in (trace, load_trace(path)):
+            nf = CountMinNF(BpfRuntime(mode=ExecMode.ENETSTL, seed=4), depth=4)
+            results.append(XdpPipeline(nf).run(t).cycles_per_packet)
+        assert results[0] == results[1]

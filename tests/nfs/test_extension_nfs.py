@@ -1,0 +1,257 @@
+"""Tests for the §4.5 extension NFs: LRU cache, d-ary cuckoo, Bloom."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.net.flowgen import FlowGenerator
+from repro.net.packet import XdpAction
+from repro.net.xdp import XdpPipeline
+from repro.nfs import (
+    BloomFilterNF,
+    DaryCuckooNF,
+    ElasticSketchNF,
+    LruCacheNF,
+    UnsupportedVariantError,
+)
+from repro.datastructs.dary_cuckoo import DaryCuckooTable
+
+
+def rt_for(mode, seed=1):
+    return BpfRuntime(mode=mode, seed=seed)
+
+
+class TestLruCacheNF:
+    def test_no_ebpf_variant(self):
+        with pytest.raises(UnsupportedVariantError):
+            LruCacheNF(rt_for(ExecMode.PURE_EBPF))
+
+    def test_put_get(self):
+        lru = LruCacheNF(rt_for(ExecMode.ENETSTL), capacity=8)
+        assert lru.put(1, b"one")
+        assert lru.get(1)[:3] == b"one"
+        assert lru.get(2) is None
+
+    def test_eviction_order_is_lru(self):
+        lru = LruCacheNF(rt_for(ExecMode.ENETSTL), capacity=3)
+        for k in (1, 2, 3):
+            lru.put(k, b"v")
+        lru.get(1)            # 1 is now most recent; 2 is LRU
+        lru.put(4, b"v")      # evicts 2
+        assert lru.get(2) is None
+        assert lru.get(1) is not None
+        assert lru.evictions == 1
+
+    def test_recency_list_matches_access_order(self):
+        lru = LruCacheNF(rt_for(ExecMode.ENETSTL), capacity=4)
+        for k in (1, 2, 3, 4):
+            lru.put(k, b"v")
+        lru.get(2)
+        assert lru.recency_keys() == [2, 4, 3, 1]
+
+    def test_put_existing_refreshes(self):
+        lru = LruCacheNF(rt_for(ExecMode.ENETSTL), capacity=2)
+        lru.put(1, b"a")
+        lru.put(2, b"b")
+        lru.put(1, b"c")      # refresh: 2 becomes LRU
+        lru.put(3, b"d")      # evicts 2
+        assert lru.get(1)[:1] == b"c"
+        assert lru.get(2) is None
+
+    def test_capacity_bound_holds(self):
+        lru = LruCacheNF(rt_for(ExecMode.ENETSTL), capacity=16)
+        for k in range(200):
+            lru.put(k, b"v")
+        assert len(lru) == 16
+        assert lru.evictions == 184
+
+    def test_no_leaked_wrapper_references(self):
+        lru = LruCacheNF(rt_for(ExecMode.ENETSTL), capacity=32)
+        for k in range(100):
+            lru.put(k, b"v")
+            lru.get(k // 2)
+        for node in lru.proxy:
+            if node not in (lru.head, lru.tail):
+                assert node.refcount == 0
+
+    def test_process_caches_flows(self):
+        lru = LruCacheNF(rt_for(ExecMode.ENETSTL), capacity=64)
+        fg = FlowGenerator(16, seed=3)
+        result = XdpPipeline(lru).run(fg.trace(300))
+        # First touch per flow misses, the rest hit.
+        assert result.actions[XdpAction.DROP] == 16
+        assert result.actions[XdpAction.PASS] == 284
+
+    def test_kernel_cheaper_than_enetstl(self):
+        fg = FlowGenerator(64, seed=3)
+        trace = fg.trace(300)
+        totals = {}
+        for mode in (ExecMode.KERNEL, ExecMode.ENETSTL):
+            nf = LruCacheNF(rt_for(mode), capacity=32)
+            totals[mode] = XdpPipeline(nf).run(trace).cycles_per_packet
+        assert totals[ExecMode.KERNEL] < totals[ExecMode.ENETSTL]
+
+    @given(st.lists(st.integers(1, 20), min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_lru(self, accesses):
+        from collections import OrderedDict
+
+        capacity = 6
+        lru = LruCacheNF(rt_for(ExecMode.ENETSTL), capacity=capacity)
+        ref = OrderedDict()
+        for key in accesses:
+            if lru.get(key) is not None:
+                ref.move_to_end(key, last=False)
+                continue
+            lru.put(key, b"v")
+            if len(ref) >= capacity and key not in ref:
+                ref.popitem(last=True)
+            ref[key] = True
+            ref.move_to_end(key, last=False)
+        assert lru.recency_keys() == list(ref.keys())
+
+
+class TestDaryCuckooTable:
+    def test_insert_lookup_delete(self):
+        t = DaryCuckooTable(d=4, width=64)
+        assert t.insert(5, "v")
+        assert t.lookup(5) == "v"
+        assert t.delete(5)
+        assert t.lookup(5) is None
+
+    def test_zero_key_reserved(self):
+        t = DaryCuckooTable()
+        with pytest.raises(ValueError):
+            t.insert(0, "v")
+
+    def test_displacement_preserves_entries(self):
+        t = DaryCuckooTable(d=2, width=16, seed=5)
+        placed = [k for k in range(1, 25) if t.insert(k, k)]
+        for k in placed:
+            assert t.lookup(k) == k
+
+    def test_failed_insert_rolls_back(self):
+        t = DaryCuckooTable(d=2, width=4, seed=5)
+        placed = [k for k in range(1, 30) if t.insert(k, k)]
+        # Regardless of failures, every placed key is still there.
+        for k in placed:
+            assert t.lookup(k) == k
+        assert len(t) == len(placed)
+
+    @given(st.sets(st.integers(1, 10_000), max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_set_reference(self, keys):
+        t = DaryCuckooTable(d=4, width=256)
+        placed = {k for k in keys if t.insert(k, k * 2)}
+        for k in placed:
+            assert t.lookup(k) == k * 2
+        assert len(t) == len(placed)
+
+
+class TestDaryCuckooNF:
+    def _loaded(self, mode, n=500):
+        nf = DaryCuckooNF(rt_for(mode), d=4, width=2048)
+        fg = FlowGenerator(n, seed=6)
+        nf.populate(f.key_int for f in fg.flows)
+        return nf, fg
+
+    def test_hits_for_resident_flows(self):
+        nf, fg = self._loaded(ExecMode.ENETSTL)
+        result = XdpPipeline(nf).run(fg.trace(200))
+        assert result.actions == {XdpAction.TX: 200}
+
+    def test_ebpf_and_enetstl_agree_functionally(self):
+        a, fg = self._loaded(ExecMode.PURE_EBPF)
+        b, _ = self._loaded(ExecMode.ENETSTL)
+        for f in fg.flows[:100]:
+            key = f.key_int | 1
+            assert (a.lookup(key) is None) == (b.lookup(key) is None)
+
+    def test_mode_cost_ordering(self):
+        totals = {}
+        for mode in ExecMode:
+            nf, fg = self._loaded(mode)
+            totals[mode] = XdpPipeline(nf).run(fg.trace(200)).cycles_per_packet
+        assert totals[ExecMode.PURE_EBPF] > totals[ExecMode.ENETSTL]
+        assert totals[ExecMode.ENETSTL] > totals[ExecMode.KERNEL]
+
+
+class TestElasticSketchNF:
+    def test_estimates_track_truth(self):
+        nf = ElasticSketchNF(rt_for(ExecMode.ENETSTL), heavy_buckets=512)
+        fg = FlowGenerator(64, seed=8, distribution="zipf")
+        trace = fg.trace(3000)
+        truth = {}
+        for p in trace:
+            truth[p.key_int] = truth.get(p.key_int, 0) + 1
+        XdpPipeline(nf).run(trace)
+        for key, count in truth.items():
+            assert nf.estimate(key) >= count
+
+    def test_heavy_path_dominates_for_elephants(self):
+        nf = ElasticSketchNF(rt_for(ExecMode.KERNEL), heavy_buckets=1024)
+        fg = FlowGenerator(32, seed=8)
+        XdpPipeline(nf).run(fg.trace(1000))
+        # Few flows, many buckets: nearly everything stays heavy.
+        assert nf.paths["heavy"] >= 950
+
+    def test_mode_cost_ordering(self):
+        fg = FlowGenerator(256, seed=8, distribution="zipf")
+        trace = fg.trace(400)
+        totals = {}
+        for mode in ExecMode:
+            nf = ElasticSketchNF(rt_for(mode), heavy_buckets=64)
+            totals[mode] = XdpPipeline(nf).run(trace).cycles_per_packet
+        assert totals[ExecMode.PURE_EBPF] > totals[ExecMode.ENETSTL]
+        assert totals[ExecMode.ENETSTL] > totals[ExecMode.KERNEL]
+
+    def test_light_path_engaged_under_pressure(self):
+        nf = ElasticSketchNF(rt_for(ExecMode.ENETSTL), heavy_buckets=8)
+        fg = FlowGenerator(512, seed=8)
+        XdpPipeline(nf).run(fg.trace(1500))
+        assert nf.paths["light"] + nf.paths["evict"] > 100
+
+
+class TestBloomFilterNF:
+    def _loaded(self, mode):
+        nf = BloomFilterNF(rt_for(mode), n_bits=1 << 16, n_hashes=4)
+        fg = FlowGenerator(512, seed=7)
+        nf.populate(f.key_int for f in fg.flows)
+        return nf, fg
+
+    def test_no_false_negatives(self):
+        nf, fg = self._loaded(ExecMode.ENETSTL)
+        result = XdpPipeline(nf).run(fg.trace(300))
+        assert result.actions == {XdpAction.PASS: 300}
+
+    def test_foreign_flows_mostly_dropped(self):
+        nf, _ = self._loaded(ExecMode.ENETSTL)
+        foreign = FlowGenerator(256, seed=99)
+        result = XdpPipeline(nf).run(foreign.trace(300))
+        assert result.actions.get(XdpAction.DROP, 0) >= 280
+
+    def test_costed_add_visible_to_contains(self):
+        nf = BloomFilterNF(rt_for(ExecMode.ENETSTL))
+        nf.add(12345)
+        assert nf.contains(12345)
+
+    def test_modes_agree_functionally(self):
+        a, fg = self._loaded(ExecMode.PURE_EBPF)
+        b, _ = self._loaded(ExecMode.ENETSTL)
+        for f in fg.flows[:64]:
+            assert a.contains(f.key_int) == b.contains(f.key_int)
+
+    def test_mode_cost_ordering(self):
+        totals = {}
+        for mode in ExecMode:
+            nf, fg = self._loaded(mode)
+            totals[mode] = XdpPipeline(nf).run(fg.trace(200)).cycles_per_packet
+        assert totals[ExecMode.PURE_EBPF] > totals[ExecMode.ENETSTL]
+        assert totals[ExecMode.ENETSTL] > totals[ExecMode.KERNEL]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilterNF(rt_for(ExecMode.KERNEL), n_bits=100)
+        with pytest.raises(ValueError):
+            BloomFilterNF(rt_for(ExecMode.KERNEL), n_hashes=0)

@@ -1,0 +1,54 @@
+"""Tests for the HyperCuts NF — the second Table 1 ✓ reproduction."""
+
+from repro.analysis.experiments import make_rules_for_flows
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.net.flowgen import FlowGenerator
+from repro.net.packet import XdpAction
+from repro.net.xdp import XdpPipeline
+from repro.nfs import HyperCutsNF
+
+
+def build(mode, n_rules=256, seed=14):
+    fg = FlowGenerator(512, seed=seed)
+    rules = make_rules_for_flows(fg.flows[:n_rules])
+    nf = HyperCutsNF(BpfRuntime(mode=mode, seed=seed), rules)
+    return nf, fg
+
+
+class TestHyperCutsNF:
+    def test_rule_flows_pass(self):
+        nf, fg = build(ExecMode.PURE_EBPF)
+        fg.flows = fg.flows[:256]
+        result = XdpPipeline(nf).run(fg.trace(300))
+        assert result.actions == {XdpAction.PASS: 300}
+        assert nf.matched == 300
+
+    def test_foreign_flows_dropped(self):
+        nf, _ = build(ExecMode.PURE_EBPF)
+        foreign = FlowGenerator(64, seed=99)
+        result = XdpPipeline(nf).run(foreign.trace(100))
+        assert result.actions.get(XdpAction.DROP, 0) >= 99
+
+    def test_no_meaningful_degradation_in_ebpf(self):
+        """The Table 1 checkmark: tree walks cost the same everywhere."""
+        cycles = {}
+        fg = FlowGenerator(512, seed=14)
+        trace = fg.trace(300)
+        for mode in ExecMode:
+            nf, _ = build(mode)
+            cycles[mode] = XdpPipeline(nf).run(trace).cycles_per_packet
+        degradation = 1 - cycles[ExecMode.KERNEL] / cycles[ExecMode.PURE_EBPF]
+        improvement = cycles[ExecMode.PURE_EBPF] / cycles[ExecMode.ENETSTL] - 1
+        assert degradation < 0.10
+        assert improvement < 0.10
+
+    def test_same_verdicts_across_modes(self):
+        fg = FlowGenerator(512, seed=14)
+        trace = fg.trace(150)
+        verdicts = []
+        for mode in ExecMode:
+            nf, _ = build(mode)
+            result = XdpPipeline(nf).run(trace)
+            verdicts.append(result.actions)
+        assert verdicts[0] == verdicts[1] == verdicts[2]

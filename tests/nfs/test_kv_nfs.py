@@ -1,0 +1,162 @@
+"""Tests for the key-value-query NFs: skip-list KV and CuckooSwitch."""
+
+import pytest
+
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.net.flowgen import FlowGenerator
+from repro.net.packet import XdpAction
+from repro.net.xdp import XdpPipeline
+from repro.nfs import CuckooSwitchNF, SkipListKV, UnsupportedVariantError
+from repro.nfs.kv_skiplist import OP_LOOKUP, OP_UPDATE_DELETE
+
+MASK64 = (1 << 64) - 1
+
+
+def rt_for(mode, seed=1):
+    return BpfRuntime(mode=mode, seed=seed)
+
+
+class TestSkipListKV:
+    def test_no_ebpf_variant(self):
+        """The paper's P1: skip lists are infeasible in pure eBPF."""
+        with pytest.raises(UnsupportedVariantError):
+            SkipListKV(rt_for(ExecMode.PURE_EBPF))
+
+    def test_insert_lookup_delete(self):
+        nf = SkipListKV(rt_for(ExecMode.ENETSTL))
+        assert nf.insert(42, b"value")
+        assert nf.lookup(42)[:5] == b"value"
+        assert nf.delete(42)
+        assert nf.lookup(42) is None
+        assert not nf.delete(42)
+
+    def test_insert_updates_value(self):
+        nf = SkipListKV(rt_for(ExecMode.ENETSTL))
+        nf.insert(7, b"a")
+        nf.insert(7, b"b")
+        assert nf.lookup(7)[:1] == b"b"
+        assert len(nf) == 1
+
+    def test_population_consistent(self):
+        nf = SkipListKV(rt_for(ExecMode.ENETSTL))
+        keys = [k * 104729 + 11 for k in range(300)]
+        nf.preload(keys)
+        assert len(nf) == 300
+        assert all(nf.lookup(k & MASK64) is not None for k in keys)
+        for k in keys[:100]:
+            assert nf.delete(k & MASK64)
+        assert len(nf) == 200
+
+    def test_alloc_failure_path(self):
+        nf = SkipListKV(rt_for(ExecMode.ENETSTL))
+        nf.wrapper.fail_next_alloc()
+        assert not nf.insert(1, b"x")
+        assert nf.lookup(1) is None
+
+    def test_no_leaked_references_after_ops(self):
+        """All search references are returned: node refcounts drop back
+        to zero (the proxy being the only anchor)."""
+        nf = SkipListKV(rt_for(ExecMode.ENETSTL))
+        keys = list(range(0, 2000, 17))
+        nf.preload(keys)
+        for k in keys[::3]:
+            nf.lookup(k)
+        for k in keys[::5]:
+            nf.delete(k)
+        for node in nf.proxy:
+            if node is not nf.head:
+                assert node.refcount == 0
+
+    def test_process_lookup_mix(self):
+        rt = rt_for(ExecMode.ENETSTL)
+        nf = SkipListKV(rt, op_mix=OP_LOOKUP)
+        fg = FlowGenerator(64, seed=2)
+        nf.preload(f.key_int & MASK64 for f in fg.flows)
+        result = XdpPipeline(nf).run(fg.trace(100))
+        assert result.actions == {XdpAction.DROP: 100}
+
+    def test_process_update_delete_mix_keeps_size_bounded(self):
+        rt = rt_for(ExecMode.ENETSTL)
+        nf = SkipListKV(rt, op_mix=OP_UPDATE_DELETE)
+        fg = FlowGenerator(64, seed=2)
+        XdpPipeline(nf).run(fg.trace(400))
+        assert len(nf) <= 64
+
+    def test_kernel_variant_functionally_identical(self):
+        enet = SkipListKV(rt_for(ExecMode.ENETSTL, seed=3))
+        kern = SkipListKV(rt_for(ExecMode.KERNEL, seed=3))
+        keys = [k * 31 for k in range(100)]
+        for nf in (enet, kern):
+            nf.preload(keys)
+        assert all(
+            (enet.lookup(k) is None) == (kern.lookup(k) is None)
+            for k in range(0, 3200, 7)
+        )
+
+    def test_kernel_faster_than_enetstl(self):
+        totals = {}
+        for mode in (ExecMode.KERNEL, ExecMode.ENETSTL):
+            rt = rt_for(mode, seed=3)
+            nf = SkipListKV(rt)
+            nf.preload(range(0, 4096, 4))
+            rt.cycles.reset()
+            for k in range(0, 4096, 16):
+                nf.lookup(k)
+            totals[mode] = rt.cycles.total
+        assert totals[ExecMode.KERNEL] < totals[ExecMode.ENETSTL]
+        # ... but only by the per-step kfunc/refcount overhead (<15%).
+        assert totals[ExecMode.ENETSTL] / totals[ExecMode.KERNEL] < 1.15
+
+    def test_invalid_op_mix(self):
+        with pytest.raises(ValueError):
+            SkipListKV(rt_for(ExecMode.ENETSTL), op_mix="scan")
+
+    def test_oversized_value_rejected(self):
+        nf = SkipListKV(rt_for(ExecMode.ENETSTL))
+        with pytest.raises(ValueError):
+            nf.insert(1, b"x" * 200)
+
+
+class TestCuckooSwitchNF:
+    def _loaded(self, mode, n=500, seed=2):
+        rt = rt_for(mode, seed=seed)
+        nf = CuckooSwitchNF(rt, n_buckets=256)
+        fg = FlowGenerator(n, seed=seed)
+        nf.populate((f.key_int for f in fg.flows))
+        return nf, fg
+
+    def test_hits_for_resident_flows(self):
+        nf, fg = self._loaded(ExecMode.ENETSTL)
+        result = XdpPipeline(nf).run(fg.trace(200))
+        assert result.actions == {XdpAction.TX: 200}
+        assert nf.hits == 200 and nf.misses == 0
+
+    def test_misses_for_foreign_flows(self):
+        nf, _ = self._loaded(ExecMode.ENETSTL)
+        foreign = FlowGenerator(64, seed=99)
+        result = XdpPipeline(nf).run(foreign.trace(100))
+        assert result.actions[XdpAction.DROP] >= 99   # fp collisions possible
+
+    def test_lookup_returns_stored_value(self):
+        rt = rt_for(ExecMode.KERNEL)
+        nf = CuckooSwitchNF(rt, n_buckets=256)
+        nf.populate([12345], value_of=lambda k: 777)
+        assert nf.lookup(12345) == 777
+
+    def test_mode_cost_ordering(self):
+        totals = {}
+        for mode in ExecMode:
+            nf, fg = self._loaded(mode)
+            result = XdpPipeline(nf).run(fg.trace(300))
+            totals[mode] = result.cycles_per_packet
+        assert totals[ExecMode.PURE_EBPF] > totals[ExecMode.ENETSTL]
+        assert totals[ExecMode.ENETSTL] > totals[ExecMode.KERNEL]
+
+    def test_cost_grows_with_load(self):
+        costs = []
+        for n in (200, 1800):
+            nf, fg = self._loaded(ExecMode.PURE_EBPF, n=n)
+            result = XdpPipeline(nf).run(fg.trace(300))
+            costs.append(result.cycles_per_packet)
+        assert costs[1] > costs[0]

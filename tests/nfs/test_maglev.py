@@ -1,0 +1,100 @@
+"""Tests for Maglev — the Table 1 "no degradation" reproduction."""
+
+import pytest
+
+from repro.datastructs.maglev import MaglevTable
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.net.flowgen import FlowGenerator
+from repro.net.packet import XdpAction
+from repro.net.xdp import XdpPipeline
+from repro.nfs import MaglevNF
+
+
+class TestMaglevTable:
+    def test_balanced_shares(self):
+        table = MaglevTable([f"b{i}" for i in range(8)], table_size=4099)
+        shares = table.shares()
+        for share in shares.values():
+            assert share == pytest.approx(1 / 8, rel=0.25)
+
+    def test_lookup_deterministic(self):
+        table = MaglevTable(["a", "b", "c"], table_size=131)
+        assert all(
+            table.lookup(h) == table.lookup(h) for h in range(0, 10_000, 97)
+        )
+
+    def test_minimal_disruption_on_removal(self):
+        """The Maglev property: removing a backend moves almost none of
+        the other backends' traffic."""
+        table = MaglevTable([f"b{i}" for i in range(8)], table_size=4099)
+        assert table.disruption_on_removal("b3") < 0.25
+
+    def test_every_backend_used(self):
+        table = MaglevTable(["x", "y"], table_size=131)
+        assert set(table.table) == {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaglevTable([], table_size=131)
+        with pytest.raises(ValueError):
+            MaglevTable(["a", "a"], table_size=131)
+        with pytest.raises(ValueError):
+            MaglevTable(["a"], table_size=100)   # not prime
+        with pytest.raises(ValueError):
+            MaglevTable(["a", "b", "c"], table_size=2)
+
+    def test_unknown_backend_removal(self):
+        table = MaglevTable(["a", "b"], table_size=131)
+        with pytest.raises(ValueError):
+            table.disruption_on_removal("zzz")
+
+
+class TestMaglevNF:
+    def _run(self, mode, n_packets=400):
+        fg = FlowGenerator(512, seed=9)
+        rt = BpfRuntime(mode=mode, seed=9)
+        nf = MaglevNF(rt)
+        result = XdpPipeline(nf).run(fg.trace(n_packets))
+        return nf, result
+
+    def test_redirects_everything(self):
+        nf, result = self._run(ExecMode.ENETSTL)
+        assert result.actions == {XdpAction.REDIRECT: 400}
+        assert sum(nf.dispatched.values()) == 400
+
+    def test_traffic_spread(self):
+        nf, _ = self._run(ExecMode.PURE_EBPF, n_packets=2000)
+        assert all(count > 0 for count in nf.dispatched.values())
+
+    def test_flow_affinity(self):
+        """Same flow always reaches the same backend."""
+        rt = BpfRuntime(mode=ExecMode.KERNEL, seed=9)
+        nf = MaglevNF(rt)
+        fg = FlowGenerator(4, seed=9, distribution="round_robin")
+        XdpPipeline(nf).run(fg.trace(64))
+        # 4 flows -> at most 4 distinct backends used.
+        assert sum(1 for c in nf.dispatched.values() if c) <= 4
+
+    def test_no_degradation_in_ebpf(self):
+        """The Table 1 checkmark: eBPF within a few percent of kernel."""
+        cycles = {}
+        for mode in ExecMode:
+            _, result = self._run(mode)
+            cycles[mode] = result.cycles_per_packet
+        degradation = 1 - cycles[ExecMode.KERNEL] / cycles[ExecMode.PURE_EBPF]
+        assert degradation < 0.08
+        # ... and eNetSTL offers essentially nothing to replace.
+        improvement = cycles[ExecMode.PURE_EBPF] / cycles[ExecMode.ENETSTL] - 1
+        assert improvement < 0.08
+
+    def test_same_decisions_across_modes(self):
+        fg = FlowGenerator(64, seed=9)
+        trace = fg.trace(100)
+        dispatches = []
+        for mode in ExecMode:
+            rt = BpfRuntime(mode=mode, seed=9)
+            nf = MaglevNF(rt)
+            XdpPipeline(nf).run(trace)
+            dispatches.append(nf.dispatched)
+        assert dispatches[0] == dispatches[1] == dispatches[2]

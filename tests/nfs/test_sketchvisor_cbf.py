@@ -1,0 +1,120 @@
+"""Tests for the SketchVisor fast path and the counting Bloom filter."""
+
+import pytest
+
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.net.flowgen import FlowGenerator
+from repro.net.packet import XdpAction
+from repro.net.xdp import XdpPipeline
+from repro.nfs import CountingBloomNF, SketchVisorNF
+
+
+def rt_for(mode, seed=1):
+    return BpfRuntime(mode=mode, seed=seed)
+
+
+class TestSketchVisorNF:
+    def test_hot_flows_stay_in_fast_path(self):
+        nf = SketchVisorNF(rt_for(ExecMode.ENETSTL), n_slots=16)
+        fg = FlowGenerator(8, seed=10)         # 8 flows, 16 slots
+        XdpPipeline(nf).run(fg.trace(800))
+        assert nf.evictions == 0
+        assert nf.fast_hits == 800 - 8         # first touch claims a slot
+
+    def test_counts_are_exact_without_eviction(self):
+        nf = SketchVisorNF(rt_for(ExecMode.KERNEL), n_slots=16)
+        fg = FlowGenerator(4, seed=10, distribution="round_robin")
+        XdpPipeline(nf).run(fg.trace(400))
+        for f in fg.flows:
+            assert nf.estimate(f.key_int) == 100
+
+    def test_eviction_to_normal_path_preserves_counts(self):
+        nf = SketchVisorNF(rt_for(ExecMode.ENETSTL), n_slots=4)
+        fg = FlowGenerator(64, seed=10)        # far more flows than slots
+        trace = fg.trace(1500)
+        truth = {}
+        for p in trace:
+            truth[p.key_int | 1] = truth.get(p.key_int | 1, 0) + 1
+        XdpPipeline(nf).run(trace)
+        assert nf.evictions > 0
+        for key, count in truth.items():
+            assert nf.estimate(key) >= count   # CM residue only inflates
+
+    def test_min_eviction_picks_smallest(self):
+        nf = SketchVisorNF(rt_for(ExecMode.KERNEL), n_slots=2)
+        fg = FlowGenerator(3, seed=11, distribution="round_robin")
+        flows = fg.flows
+        # Fill both slots: flow0 x5, flow1 x1.
+        for pkt in [flows[0]] * 5 + [flows[1]]:
+            nf.process(pkt)
+        nf.process(flows[2])                   # evicts flow1 (min counter)
+        assert flows[0].key_int | 1 in nf.keys
+        assert flows[2].key_int | 1 in nf.keys
+        assert flows[1].key_int | 1 not in nf.keys
+
+    def test_mode_cost_ordering(self):
+        fg = FlowGenerator(128, seed=10)
+        trace = fg.trace(400)
+        totals = {}
+        for mode in ExecMode:
+            nf = SketchVisorNF(rt_for(mode), n_slots=16)
+            totals[mode] = XdpPipeline(nf).run(trace).cycles_per_packet
+        assert totals[ExecMode.PURE_EBPF] > totals[ExecMode.ENETSTL]
+        assert totals[ExecMode.ENETSTL] > totals[ExecMode.KERNEL]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SketchVisorNF(rt_for(ExecMode.KERNEL), n_slots=0)
+
+
+class TestCountingBloomNF:
+    def _loaded(self, mode):
+        nf = CountingBloomNF(rt_for(mode))
+        fg = FlowGenerator(256, seed=12)
+        nf.populate(f.key_int for f in fg.flows)
+        return nf, fg
+
+    def test_members_pass(self):
+        nf, fg = self._loaded(ExecMode.ENETSTL)
+        result = XdpPipeline(nf).run(fg.trace(200))
+        assert result.actions == {XdpAction.PASS: 200}
+
+    def test_delete_actually_removes(self):
+        nf = CountingBloomNF(rt_for(ExecMode.ENETSTL))
+        nf.add(42)
+        assert nf.contains(42)
+        assert nf.remove(42)
+        assert not nf.contains(42)
+
+    def test_delete_absent_is_safe(self):
+        nf = CountingBloomNF(rt_for(ExecMode.KERNEL))
+        assert not nf.remove(999)
+        assert all(c == 0 for c in nf.counters)   # no underflow
+
+    def test_duplicate_inserts_need_matching_deletes(self):
+        nf = CountingBloomNF(rt_for(ExecMode.ENETSTL))
+        nf.add(7)
+        nf.add(7)
+        assert nf.remove(7)
+        assert nf.contains(7)          # one insert remains
+        assert nf.remove(7)
+        assert not nf.contains(7)
+
+    def test_foreign_flows_dropped(self):
+        nf, _ = self._loaded(ExecMode.ENETSTL)
+        foreign = FlowGenerator(128, seed=77)
+        result = XdpPipeline(nf).run(foreign.trace(200))
+        assert result.actions.get(XdpAction.DROP, 0) >= 190
+
+    def test_mode_cost_ordering(self):
+        totals = {}
+        for mode in ExecMode:
+            nf, fg = self._loaded(mode)
+            totals[mode] = XdpPipeline(nf).run(fg.trace(200)).cycles_per_packet
+        assert totals[ExecMode.PURE_EBPF] > totals[ExecMode.ENETSTL]
+        assert totals[ExecMode.ENETSTL] > totals[ExecMode.KERNEL]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CountingBloomNF(rt_for(ExecMode.KERNEL), width=0)

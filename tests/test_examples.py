@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs end-to-end and prints the
+claims it makes."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["eNetSTL over eBPF", "Mpps"],
+    "heavy_hitter_telemetry.py": ["recall", "NitroSketch"],
+    "packet_scheduler.py": ["Carousel", "voice"],
+    "skiplist_kv_walkthrough.py": ["dangling", "gap to the kernel"],
+    "verifier_demo.py": ["ACCEPTED", "REJECTED"],
+    "service_chain.py": ["infeasible", "saturated", "cache hit rate"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(CASES))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    for fragment in CASES[script]:
+        assert fragment in result.stdout, (
+            f"{script} output missing {fragment!r}:\n{result.stdout}"
+        )
+
+
+def test_all_examples_have_smoke_cases():
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == set(CASES)
