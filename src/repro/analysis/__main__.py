@@ -1,11 +1,18 @@
 """Command-line report generator: ``python -m repro.analysis``.
 
 Runs the full experiment suite and prints every paper table/figure in
-text form.  Options select a subset and the workload size:
+text form.  Options select a subset, the workload size, and how the
+matrix executes:
 
     python -m repro.analysis                   # everything, default size
     python -m repro.analysis --only fig3e fig7
     python -m repro.analysis --packets 5000    # heavier workloads
+    python -m repro.analysis --jobs auto       # fan sweep points across CPUs
+    python -m repro.analysis --no-cache        # recompute everything
+
+Results are cached on disk (keyed by experiment, parameters, and the
+cost-model fingerprint), so repeat runs skip already-computed points;
+``--no-cache`` bypasses the cache and ``--clear-cache`` empties it.
 """
 
 from __future__ import annotations
@@ -17,7 +24,22 @@ import time
 from . import experiments as exp
 from . import report
 from .components import fig6_interface_comparison, table2_results
+from .parallel import ResultCache, run_experiments
 from .survey import measured_degradations
+
+SWEEP_TITLES = {
+    "fig3a": "Fig. 3(a): skip-list KV lookup",
+    "fig3b": "Fig. 3(b): skip-list KV update/delete",
+    "fig3c": "Fig. 3(c): CuckooSwitch vs load",
+    "fig3d": "Fig. 3(d): NitroSketch vs update probability",
+    "fig3e": "Fig. 3(e): Count-min vs #hashes",
+    "fig3f": "Fig. 3(f): time wheel vs granularity",
+    "fig3g": "Fig. 3(g): cuckoo filter vs load",
+    "fig3h": "Fig. 3(h): Eiffel cFFS vs levels",
+}
+
+#: CLI names that fan out to several underlying experiments.
+EXPAND = {"others": ("efd", "tss", "heavykeeper", "vbf")}
 
 
 def _sweep_runner(fn, title):
@@ -27,6 +49,8 @@ def _sweep_runner(fn, title):
     return run
 
 
+# Legacy serial runners (kept as the stable registry of experiment
+# names; the CLI now computes through repro.analysis.parallel).
 RUNNERS = {
     "table1": lambda n: print(
         report.render_table1(measured_degradations(n_packets=min(n, 1000)))
@@ -35,22 +59,14 @@ RUNNERS = {
         report.render_behavior_shares(exp.fig1_behavior_shares(n_packets=n))
     ),
     "table2": lambda n: print(report.render_components(table2_results())),
-    "fig3a": _sweep_runner(exp.fig3a_skiplist_lookup,
-                           "Fig. 3(a): skip-list KV lookup"),
-    "fig3b": _sweep_runner(exp.fig3b_skiplist_update_delete,
-                           "Fig. 3(b): skip-list KV update/delete"),
-    "fig3c": _sweep_runner(exp.fig3c_cuckoo_switch,
-                           "Fig. 3(c): CuckooSwitch vs load"),
-    "fig3d": _sweep_runner(exp.fig3d_nitrosketch,
-                           "Fig. 3(d): NitroSketch vs update probability"),
-    "fig3e": _sweep_runner(exp.fig3e_countmin,
-                           "Fig. 3(e): Count-min vs #hashes"),
-    "fig3f": _sweep_runner(exp.fig3f_timewheel,
-                           "Fig. 3(f): time wheel vs granularity"),
-    "fig3g": _sweep_runner(exp.fig3g_cuckoo_filter,
-                           "Fig. 3(g): cuckoo filter vs load"),
-    "fig3h": _sweep_runner(exp.fig3h_eiffel,
-                           "Fig. 3(h): Eiffel cFFS vs levels"),
+    "fig3a": _sweep_runner(exp.fig3a_skiplist_lookup, SWEEP_TITLES["fig3a"]),
+    "fig3b": _sweep_runner(exp.fig3b_skiplist_update_delete, SWEEP_TITLES["fig3b"]),
+    "fig3c": _sweep_runner(exp.fig3c_cuckoo_switch, SWEEP_TITLES["fig3c"]),
+    "fig3d": _sweep_runner(exp.fig3d_nitrosketch, SWEEP_TITLES["fig3d"]),
+    "fig3e": _sweep_runner(exp.fig3e_countmin, SWEEP_TITLES["fig3e"]),
+    "fig3f": _sweep_runner(exp.fig3f_timewheel, SWEEP_TITLES["fig3f"]),
+    "fig3g": _sweep_runner(exp.fig3g_cuckoo_filter, SWEEP_TITLES["fig3g"]),
+    "fig3h": _sweep_runner(exp.fig3h_eiffel, SWEEP_TITLES["fig3h"]),
     "others": lambda n: [
         print(report.render_sweep(exp.other_nf(nf, n_packets=n), f"{nf}"))
         for nf in ("efd", "tss", "heavykeeper", "vbf")
@@ -61,6 +77,34 @@ RUNNERS = {
     "fig6": lambda n: print(report.render_interfaces(fig6_interface_comparison())),
     "fig7": lambda n: print(report.render_apps(exp.fig7_apps(n_packets=n))),
 }
+
+#: Experiment name -> renderer over a computed result object.
+RENDERERS = {
+    "table1": report.render_table1,
+    "fig1": report.render_behavior_shares,
+    "table2": report.render_components,
+    "fig45": report.render_latency,
+    "fig6": report.render_interfaces,
+    "fig7": report.render_apps,
+}
+for _name, _title in SWEEP_TITLES.items():
+    RENDERERS[_name] = (
+        lambda result, _t=_title: report.render_sweep(result, _t)
+    )
+for _nf in EXPAND["others"]:
+    RENDERERS[_nf] = lambda result, _t=_nf: report.render_sweep(result, _t)
+
+
+def _jobs_arg(value: str):
+    if value == "auto":
+        return "auto"
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError("--jobs takes an integer or 'auto'")
+    if jobs <= 0:
+        raise argparse.ArgumentTypeError("--jobs must be positive")
+    return jobs
 
 
 def main(argv=None) -> int:
@@ -81,24 +125,65 @@ def main(argv=None) -> int:
         help="packets per measured configuration (default 2000)",
     )
     parser.add_argument(
+        "--jobs",
+        type=_jobs_arg,
+        default=1,
+        metavar="N|auto",
+        help="worker processes for the experiment matrix (default 1; "
+        "'auto' = CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every point, bypassing the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default $REPRO_CACHE_DIR or "
+        "~/.cache/repro-analysis)",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="empty the result cache and exit",
+    )
+    parser.add_argument(
         "--paper-check",
         action="store_true",
         help="compare every headline metric against the paper's value",
     )
     args = parser.parse_args(argv)
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.clear_cache:
+        removed = ResultCache(args.cache_dir).clear()
+        print(f"cleared {removed} cached result(s)")
+        return 0
     if args.paper_check:
         from .paper_targets import check_all, render_check
 
-        results = check_all(n_packets=args.packets)
+        results = check_all(n_packets=args.packets, jobs=args.jobs, cache=cache)
         print(render_check(results))
         return 0 if all(r.ok for r in results) else 1
+
     selected = args.only or list(RUNNERS)
+    exp_names = []
+    for name in selected:
+        exp_names.extend(EXPAND.get(name, (name,)))
     start = time.time()
+    results = run_experiments(
+        exp_names, n_packets=args.packets, jobs=args.jobs, cache=cache
+    )
     for i, name in enumerate(selected):
         if i:
             print()
-        RUNNERS[name](args.packets)
-    print(f"\n[{len(selected)} experiment(s) in {time.time() - start:.1f}s]")
+        for exp_name in EXPAND.get(name, (name,)):
+            print(RENDERERS[exp_name](results[exp_name]))
+    footer = f"\n[{len(selected)} experiment(s) in {time.time() - start:.1f}s"
+    if cache is not None:
+        footer += f"; cache: {cache.hits} hit(s), {cache.misses} miss(es)"
+    print(footer + "]")
     return 0
 
 

@@ -449,15 +449,23 @@ def _moderate_nf(name: str, rt: BpfRuntime, fg: FlowGenerator):
     return _heavy_nf(name, rt, fg)
 
 
-def fig7_apps(n_packets: int = 2500, seed: int = 14) -> Dict[str, Dict[str, float]]:
+def fig7_apps(
+    n_packets: int = 2500,
+    seed: int = 14,
+    apps: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, float]]:
     """Origin vs eNetSTL-integrated builds of the four real projects.
 
     Returns app -> {"origin_pps", "enetstl_pps", "improvement"}.
+    ``apps`` restricts to a subset (the parallel runner shards on it).
     """
     from ..apps import ALL_APPS
 
+    selected = ALL_APPS if apps is None else {
+        name: ALL_APPS[name] for name in apps
+    }
     out: Dict[str, Dict[str, float]] = {}
-    for app_name, app_cls in ALL_APPS.items():
+    for app_name, app_cls in selected.items():
         fg = FlowGenerator(n_flows=1024, seed=seed, distribution="zipf")
         trace = fg.trace(n_packets)
         results = {}
@@ -474,15 +482,21 @@ def fig7_apps(n_packets: int = 2500, seed: int = 14) -> Dict[str, Dict[str, floa
 
 
 def fig1_behavior_shares(
-    n_packets: int = 1200, seed: int = 13
+    n_packets: int = 1200,
+    seed: int = 13,
+    nfs: Optional[Sequence[str]] = None,
 ) -> List[BehaviorShare]:
     """Fraction of eBPF execution time spent in the shared behaviors.
 
     O5 (non-contiguous memory) is absent, as in the paper: it cannot be
-    measured in eBPF at all.
+    measured in eBPF at all.  ``nfs`` restricts to a subset (the
+    parallel runner shards on it).
     """
+    selected = (
+        BEHAVIOR_OF if nfs is None else {name: BEHAVIOR_OF[name] for name in nfs}
+    )
     shares: List[BehaviorShare] = []
-    for name, (obs, categories) in BEHAVIOR_OF.items():
+    for name, (obs, categories) in selected.items():
         fg = FlowGenerator(
             n_flows=512,
             seed=seed,

@@ -94,12 +94,26 @@ SWEEP_RUNNERS: Dict[str, Callable] = {
 }
 
 
-def check_all(n_packets: int = 800) -> List[CheckResult]:
-    """Run everything; returns one result per headline metric."""
+def check_all(
+    n_packets: int = 800, jobs=1, cache=None
+) -> List[CheckResult]:
+    """Run everything; returns one result per headline metric.
+
+    ``jobs``/``cache`` fan the experiment matrix across worker
+    processes and reuse cached sweep points (bit-identical to the
+    serial path — see :mod:`repro.analysis.parallel`).
+    """
+    from .parallel import run_experiments
+
     results: List[CheckResult] = []
 
-    for key, runner in SWEEP_RUNNERS.items():
-        sweep = runner(n_packets=n_packets)
+    names = list(SWEEP_RUNNERS) + ["fig1", "fig7"]
+    computed = run_experiments(
+        names, n_packets=n_packets, jobs=jobs, cache=cache
+    )
+
+    for key in SWEEP_RUNNERS:
+        sweep = computed[key]
         for target in TARGETS[key]:
             if target.metric == "avg improvement":
                 results.append(target.check(sweep.avg_improvement()))
@@ -107,7 +121,7 @@ def check_all(n_packets: int = 800) -> List[CheckResult]:
                 results.append(target.check(sweep.avg_gap_to_kernel()))
 
     # Fig. 1: shared-behavior shares, 20.6% .. 65.4% in the paper.
-    shares = [s.share for s in exp.fig1_behavior_shares(n_packets=n_packets)]
+    shares = [s.share for s in computed["fig1"]]
     results.append(
         Target("fig1", "min share", 0.206, 0.10, 0.40).check(min(shares))
     )
@@ -133,7 +147,7 @@ def check_all(n_packets: int = 800) -> List[CheckResult]:
         )
 
     # Fig. 7: +21.6% average app improvement.
-    apps = exp.fig7_apps(n_packets=n_packets)
+    apps = computed["fig7"]
     avg_imp = sum(d["improvement"] for d in apps.values()) / len(apps)
     results.append(
         Target("fig7", "avg improvement", 0.216, 0.15, 0.30).check(avg_imp)

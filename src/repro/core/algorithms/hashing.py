@@ -146,6 +146,43 @@ class HashAlgos:
         self.rt.charge(self.rt.costs.counter_update * k, self.category)
         return cols
 
+    def hash_cnt_bulk(
+        self,
+        counters: Sequence[MutableSequence[int]],
+        keys: Sequence[KeyLike],
+        k: int,
+        delta: int = 1,
+    ) -> None:
+        """Count-after-hashing over a whole key batch.
+
+        Cycle-identical to ``len(keys)`` calls of :meth:`hash_cnt`
+        (the batch pipeline relies on this), but charges the runtime
+        once and runs the counter bumps in a tight loop — the Python
+        per-call overhead is what drops, not the modeled cycles.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if len(counters) < k:
+            raise ValueError(f"counter matrix has {len(counters)} rows; need {k}")
+        n = len(keys)
+        if n == 0:
+            return
+        costs = self.rt.costs
+        if self.rt.mode == ExecMode.PURE_EBPF:
+            per_key = costs.hash_scalar * k
+        else:
+            per_key = (
+                costs.hash_simd_setup
+                + costs.hash_simd_lane * k
+                + self._call_overhead()
+            )
+        per_key += costs.counter_update * k
+        self.rt.charge(per_key * n, self.category)
+        widths = [len(counters[row]) for row in range(k)]
+        for key in keys:
+            for row in range(k):
+                counters[row][fast_hash32(key, row) % widths[row]] += delta
+
     def hash_min_read(
         self, counters: Sequence[Sequence[int]], key: KeyLike, k: int
     ) -> int:

@@ -38,6 +38,13 @@ from .kfunc_meta import (
     default_registry,
 )
 from .maps import BpfArrayMap, BpfHashMap, BpfLruHashMap, BpfMap, BpfPercpuArray, MapFullError
+from .percpu import (
+    merge_breakdowns,
+    or_words,
+    sum_counts,
+    sum_matrices,
+    sum_vectors,
+)
 from .runtime import BpfRuntime
 from .verifier import Verifier, VerifierError, VerifierStats
 from .vm import KernelObject, Pointer, Vm, VmFault
@@ -77,6 +84,11 @@ __all__ = [
     "BpfMap",
     "BpfPercpuArray",
     "MapFullError",
+    "merge_breakdowns",
+    "or_words",
+    "sum_counts",
+    "sum_matrices",
+    "sum_vectors",
     "BpfRuntime",
     "Verifier",
     "VerifierError",

@@ -205,6 +205,25 @@ class Cycles:
     def snapshot(self) -> "CycleSnapshot":
         return CycleSnapshot(total=self.total, by_category=dict(self._by_category))
 
+    def checkpoint(self) -> Tuple[int, Dict[Category, int]]:
+        """Cheap state capture: a plain ``(total, by_category)`` tuple.
+
+        Hot paths (the XDP replay loops) pair this with
+        :meth:`delta_since` instead of allocating two
+        :class:`CycleSnapshot` objects plus an intermediate delta.
+        """
+        return self.total, dict(self._by_category)
+
+    def delta_since(self, checkpoint: Tuple[int, Dict[Category, int]]) -> "CycleSnapshot":
+        """Cycles charged since a :meth:`checkpoint`, as one snapshot."""
+        total0, by0 = checkpoint
+        by_cat = {}
+        for cat, cyc in self._by_category.items():
+            d = cyc - by0.get(cat, 0)
+            if d:
+                by_cat[cat] = d
+        return CycleSnapshot(total=self.total - total0, by_category=by_cat)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Cycles(total={self.total})"
 

@@ -1,0 +1,88 @@
+"""Cross-core aggregation for per-CPU (``BPF_PERCPU_*``) state.
+
+Per-CPU maps give each core a private slice — the data-plane write path
+never synchronizes (the paper's §4.3 percpu argument, and the standard
+eBPF idiom).  The *control plane* then reads every slice and merges:
+``bpf_map_lookup_elem`` from userspace on a percpu map returns one
+value per possible CPU, and the caller folds them.
+
+These helpers are that fold, for the state shapes the library's NFs
+shard across cores under RSS (:mod:`repro.net.multicore`):
+
+- counter matrices (count-min / NitroSketch rows) merge by element-wise
+  **sum** — each core counted a disjoint packet subset, so the summed
+  sketch is exactly the single-core sketch of the full trace;
+- counter vectors (histograms, per-backend dispatch counts) likewise;
+- bitmaps (Bloom filters) merge by element-wise **OR** — a bit is set
+  iff some core set it;
+- cycle breakdowns merge by summing per-category charges.
+
+Merging is control-plane work and charges no data-path cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, TypeVar
+
+from .cost_model import Category
+
+Number = TypeVar("Number", int, float)
+
+
+def sum_vectors(vectors: Sequence[Sequence[Number]]) -> List[Number]:
+    """Element-wise sum of equal-length per-core vectors."""
+    if not vectors:
+        raise ValueError("need at least one per-core vector")
+    length = len(vectors[0])
+    for v in vectors[1:]:
+        if len(v) != length:
+            raise ValueError("per-core vectors differ in length")
+    merged = list(vectors[0])
+    for v in vectors[1:]:
+        for i, x in enumerate(v):
+            merged[i] += x
+    return merged
+
+
+def sum_matrices(
+    matrices: Sequence[Sequence[Sequence[Number]]],
+) -> List[List[Number]]:
+    """Element-wise sum of equal-shape per-core counter matrices."""
+    if not matrices:
+        raise ValueError("need at least one per-core matrix")
+    n_rows = len(matrices[0])
+    for m in matrices[1:]:
+        if len(m) != n_rows:
+            raise ValueError("per-core matrices differ in row count")
+    return [sum_vectors([m[row] for m in matrices]) for row in range(n_rows)]
+
+
+def or_words(bitmaps: Sequence[Sequence[int]]) -> List[int]:
+    """Element-wise OR of equal-length per-core u64 bitmap arrays."""
+    if not bitmaps:
+        raise ValueError("need at least one per-core bitmap")
+    length = len(bitmaps[0])
+    for b in bitmaps[1:]:
+        if len(b) != length:
+            raise ValueError("per-core bitmaps differ in length")
+    merged = list(bitmaps[0])
+    for b in bitmaps[1:]:
+        for i, w in enumerate(b):
+            merged[i] |= w
+    return merged
+
+
+def sum_counts(counts: Sequence[Dict]) -> Dict:
+    """Key-wise sum of per-core count mappings (e.g. action verdicts)."""
+    merged: Dict = {}
+    for d in counts:
+        for key, value in d.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def merge_breakdowns(
+    breakdowns: Sequence[Dict[Category, int]],
+) -> Dict[Category, int]:
+    """Sum per-core cycle-category breakdowns into one attribution."""
+    return sum_counts(breakdowns)

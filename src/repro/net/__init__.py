@@ -3,9 +3,22 @@
 from .flowgen import DISTRIBUTIONS, FlowGenerator, make_flows, rate_to_inter_arrival_ns
 from .packet import MIN_FRAME_BYTES, PROTO_TCP, PROTO_UDP, Packet, XdpAction
 from .stats import geo_mean, mean, percentile, relative_error, stdev
+from .multicore import (
+    MulticoreResult,
+    RSS_HASH_SEED,
+    RssDispatcher,
+    merged_bloom_contains,
+    merged_bloom_words,
+    merged_countmin_estimate,
+    merged_countmin_rows,
+    merged_nitrosketch_estimate,
+    rss_queue,
+    shard_trace,
+)
 from .trace import dump_trace, dumps_trace, load_trace, loads_trace
 from .xdp import (
     BASE_WIRE_LATENCY_NS,
+    DEFAULT_BATCH_SIZE,
     PipelineResult,
     XdpPipeline,
     warm_then_measure,
@@ -31,7 +44,18 @@ __all__ = [
     "load_trace",
     "loads_trace",
     "BASE_WIRE_LATENCY_NS",
+    "DEFAULT_BATCH_SIZE",
     "PipelineResult",
     "XdpPipeline",
     "warm_then_measure",
+    "MulticoreResult",
+    "RSS_HASH_SEED",
+    "RssDispatcher",
+    "merged_bloom_contains",
+    "merged_bloom_words",
+    "merged_countmin_estimate",
+    "merged_countmin_rows",
+    "merged_nitrosketch_estimate",
+    "rss_queue",
+    "shard_trace",
 ]

@@ -1,0 +1,294 @@
+"""Multi-queue (RSS) data plane: shard one trace across N simulated cores.
+
+The paper pins all traffic to a single receive queue/core (§6.1) and
+reports single-core saturation PPS.  Real deployments scale out: the
+NIC's receive-side scaling (RSS) hashes each packet's 5-tuple onto a
+receive queue, each queue is serviced by one core, and one XDP program
+instance runs per core with per-CPU state — exactly the regime the
+eBPF-Flow-Collector work uses to reach lossless 10 Gb/s capture by
+"gradually increasing the number of utilized CPU cores".
+
+This module simulates that regime faithfully:
+
+- :class:`RssDispatcher` hashes every packet's 5-tuple (Toeplitz
+  stand-in) onto one of ``n_cores`` queues.  All packets of a flow land
+  on the same core — flow affinity is what makes per-CPU NF state
+  coherent without locks.
+- Each core is an independent ``BpfRuntime`` + NF + :class:`XdpPipeline`
+  (built by a caller-supplied factory), mirroring per-CPU eBPF
+  semantics: no shared counters, no cross-core synchronization on the
+  data path.
+- :class:`MulticoreResult` aggregates the per-core
+  :class:`PipelineResult` into system-level metrics: aggregate PPS (the
+  wall clock is set by the busiest core), the load-imbalance factor
+  (max/mean core load — Zipf traces visibly skew it), and a
+  lossless-capture check (offered rate vs. per-core saturation).
+- The ``merged_*`` helpers fold per-CPU sketch state back together
+  (:mod:`repro.ebpf.percpu`) so count-min/NitroSketch estimates remain
+  correct when sharded: each core counted a disjoint packet subset, so
+  the element-wise sum of the rows is exactly the single-core sketch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.algorithms.hashing import fast_hash32
+from ..ebpf.cost_model import CPU_HZ, Category
+from ..ebpf.percpu import or_words, sum_counts, sum_matrices
+from .packet import Packet
+from .xdp import DEFAULT_BATCH_SIZE, NetworkFunction, PipelineResult, XdpPipeline
+
+#: Seed of the simulated RSS (Toeplitz) hash.  Changing it re-shuffles
+#: flow -> queue placement, like rewriting the NIC's RSS key.
+RSS_HASH_SEED = 0x52535348
+
+
+def rss_queue(packet: Packet, n_cores: int, hash_seed: int = RSS_HASH_SEED) -> int:
+    """The receive queue (== core) RSS steers ``packet`` to."""
+    if n_cores <= 0:
+        raise ValueError("n_cores must be positive")
+    return fast_hash32(packet.key_int, hash_seed) % n_cores
+
+
+def shard_trace(
+    trace: Sequence[Packet], n_cores: int, hash_seed: int = RSS_HASH_SEED
+) -> List[List[Packet]]:
+    """Split a trace into per-core queues by RSS hash (order-preserving)."""
+    queues: List[List[Packet]] = [[] for _ in range(n_cores)]
+    if n_cores == 1:
+        queues[0].extend(trace)
+        return queues
+    for pkt in trace:
+        queues[fast_hash32(pkt.key_int, hash_seed) % n_cores].append(pkt)
+    return queues
+
+
+@dataclass
+class MulticoreResult:
+    """System-level aggregate of one multi-queue replay."""
+
+    per_core: List[PipelineResult]
+    actions: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.per_core)
+
+    @property
+    def n_packets(self) -> int:
+        return sum(r.n_packets for r in self.per_core)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(r.total_cycles for r in self.per_core)
+
+    @property
+    def per_core_cycles(self) -> List[int]:
+        return [r.total_cycles for r in self.per_core]
+
+    @property
+    def per_core_cycles_per_packet(self) -> List[float]:
+        return [r.cycles_per_packet for r in self.per_core]
+
+    @property
+    def busiest_core_cycles(self) -> int:
+        return max(self.per_core_cycles) if self.per_core else 0
+
+    @property
+    def wall_time_s(self) -> float:
+        """Replay wall clock: cores run concurrently, the busiest gates."""
+        return self.busiest_core_cycles / CPU_HZ
+
+    @property
+    def aggregate_pps(self) -> float:
+        """System saturation throughput across all cores."""
+        busiest = self.busiest_core_cycles
+        if busiest == 0:
+            return 0.0
+        return self.n_packets * CPU_HZ / busiest
+
+    @property
+    def aggregate_mpps(self) -> float:
+        return self.aggregate_pps / 1e6
+
+    @property
+    def imbalance(self) -> float:
+        """Load-imbalance factor: busiest-core cycles over mean core cycles.
+
+        1.0 is a perfectly balanced fleet; RSS over Zipf-skewed traffic
+        drives it up (the heavy flows pin to single queues), which is
+        exactly the aggregate-throughput loss the metric quantifies:
+        ``aggregate_pps = ideal_pps / imbalance``.
+        """
+        cycles = self.per_core_cycles
+        if not cycles or self.total_cycles == 0:
+            return 1.0
+        return max(cycles) / (self.total_cycles / len(cycles))
+
+    @property
+    def by_category(self) -> Dict[Category, int]:
+        """Cross-core cycle attribution (per-CPU breakdowns summed)."""
+        return sum_counts([r.by_category for r in self.per_core])
+
+    # -- lossless-capture check (à la eBPF-Flow-Collector) -------------
+
+    def lossless_at(self, offered_pps: float) -> bool:
+        """Can the fleet absorb ``offered_pps`` without dropping?
+
+        The offered aggregate rate splits across queues in the ratio
+        RSS actually produced; the capture is lossless iff every core's
+        share stays below that core's saturation rate.
+        """
+        if offered_pps < 0:
+            raise ValueError("offered_pps must be non-negative")
+        total = self.n_packets
+        if total == 0:
+            return True
+        for r in self.per_core:
+            if r.n_packets == 0:
+                continue
+            share = r.n_packets / total
+            if offered_pps * share > r.pps:
+                return False
+        return True
+
+    @property
+    def max_lossless_pps(self) -> float:
+        """Highest offered aggregate rate no core saturates at.
+
+        With perfect balance this approaches ``n_cores x`` the
+        single-core rate; imbalance caps it at the hottest queue.
+        """
+        total = self.n_packets
+        if total == 0:
+            return float("inf")
+        rates = [
+            r.pps * total / r.n_packets for r in self.per_core if r.n_packets
+        ]
+        return min(rates) if rates else float("inf")
+
+    def speedup_over(self, single_core: PipelineResult) -> float:
+        """Aggregate-throughput scaling factor vs a single-core run."""
+        if single_core.pps == 0:
+            raise ValueError("single-core baseline has no throughput")
+        return self.aggregate_pps / single_core.pps
+
+
+class RssDispatcher:
+    """N receive queues, one NF instance + runtime per core.
+
+    ``nf_factory(core_id)`` must build a fresh NF bound to a fresh
+    :class:`BpfRuntime` for each core — per-CPU semantics require
+    private state.  The dispatcher refuses shared runtimes.
+    """
+
+    def __init__(
+        self,
+        nf_factory: Callable[[int], NetworkFunction],
+        n_cores: int,
+        hash_seed: int = RSS_HASH_SEED,
+        charge_framework: bool = True,
+    ) -> None:
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        self.n_cores = n_cores
+        self.hash_seed = hash_seed
+        self.nfs: List[NetworkFunction] = [
+            nf_factory(core) for core in range(n_cores)
+        ]
+        runtimes = {id(nf.rt) for nf in self.nfs}
+        if len(runtimes) != n_cores:
+            raise ValueError(
+                "nf_factory must build one private BpfRuntime per core "
+                "(per-CPU eBPF state is never shared across cores)"
+            )
+        self.pipelines: List[XdpPipeline] = [
+            XdpPipeline(nf, charge_framework=charge_framework) for nf in self.nfs
+        ]
+
+    def queue_of(self, packet: Packet) -> int:
+        return rss_queue(packet, self.n_cores, self.hash_seed)
+
+    def run(
+        self,
+        trace: Sequence[Packet],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        use_batch: bool = True,
+        advance_clock: bool = True,
+    ) -> MulticoreResult:
+        """Shard ``trace`` by RSS and replay every queue on its core.
+
+        ``use_batch`` selects the batched replay path (cycle-identical
+        to per-packet, just faster); disable it for NFs that need
+        per-packet clock advance.
+        """
+        queues = shard_trace(trace, self.n_cores, self.hash_seed)
+        per_core: List[PipelineResult] = []
+        for pipeline, queue in zip(self.pipelines, queues):
+            if use_batch:
+                result = pipeline.run_batch(
+                    queue, batch_size=batch_size, advance_clock=advance_clock
+                )
+            else:
+                result = pipeline.run(queue, advance_clock=advance_clock)
+            per_core.append(result)
+        actions = sum_counts([r.actions for r in per_core])
+        return MulticoreResult(per_core=per_core, actions=actions)
+
+
+# ---------------------------------------------------------------------------
+# Per-CPU state aggregation for sharded sketch NFs
+# ---------------------------------------------------------------------------
+
+def merged_countmin_rows(nfs: Sequence) -> List[List[int]]:
+    """Sum sharded count-min rows across cores (control-plane fold)."""
+    _check_same_shape(nfs)
+    return sum_matrices([nf.rows for nf in nfs])
+
+
+def merged_countmin_estimate(nfs: Sequence, key: int) -> int:
+    """Point query against the cross-core merged sketch.
+
+    Each core saw a disjoint packet subset, so summing rows
+    element-wise reconstructs the single-core sketch exactly; the
+    estimate is the usual min over the key's merged counters.
+    """
+    rows = merged_countmin_rows(nfs)
+    cols = nfs[0].columns(key)
+    return min(rows[r][cols[r]] for r in range(len(cols)))
+
+
+def merged_nitrosketch_estimate(nfs: Sequence, key: int) -> float:
+    """Cross-core NitroSketch estimate (rows summed, then min)."""
+    _check_same_shape(nfs)
+    rows = sum_matrices([nf.rows for nf in nfs])
+    cols = nfs[0].columns(key)
+    return min(rows[r][cols[r]] for r in range(len(cols)))
+
+
+def merged_bloom_words(nfs: Sequence) -> List[int]:
+    """OR sharded Bloom bitmaps across cores."""
+    return or_words([nf.words for nf in nfs])
+
+
+def merged_bloom_contains(nfs: Sequence, key: int) -> bool:
+    """Membership query against the cross-core merged Bloom filter."""
+    words = merged_bloom_words(nfs)
+    n_bits = len(words) * 64
+    for seed in range(nfs[0].n_hashes):
+        bit = fast_hash32(key, seed) % n_bits
+        if not words[bit // 64] >> (bit % 64) & 1:
+            return False
+    return True
+
+
+def _check_same_shape(nfs: Sequence) -> None:
+    if not nfs:
+        raise ValueError("need at least one per-core NF instance")
+    depth = getattr(nfs[0], "depth", None)
+    width = getattr(nfs[0], "width", None)
+    for nf in nfs[1:]:
+        if getattr(nf, "depth", None) != depth or getattr(nf, "width", None) != width:
+            raise ValueError("per-core sketches must share one geometry")

@@ -68,6 +68,46 @@ class CountMinNF(BaseNF):
         self._update(packet.key_int)
         return XdpAction.DROP
 
+    def process_batch(self, packets) -> "dict":
+        """Batch fast path: cycle-identical to per-packet :meth:`process`.
+
+        All framework and hash charges for the batch land in bulk
+        ``charge`` calls; the real counter updates run in a tight loop.
+        """
+        n = len(packets)
+        if n == 0:
+            return {}
+        rt = self.rt
+        costs = self.costs
+        rt.charge(costs.map_lookup * n, Category.FRAMEWORK)
+        if self.is_enetstl:
+            rt.charge(costs.null_check * n, Category.FRAMEWORK)
+        depth, width, rows = self.depth, self.width, self.rows
+        if not self.is_ebpf and depth <= CRC_CUTOVER_DEPTH:
+            per_key = self.kfunc_overhead() + (
+                costs.hash_crc_hw + costs.counter_update
+            ) * depth
+            rt.charge(per_key * n, Category.MULTIHASH)
+            for pkt in packets:
+                key = pkt.key_int
+                for row in range(depth):
+                    rows[row][crc_hash32(key, row) % width] += 1
+        else:
+            self.hash.hash_cnt_bulk(rows, [pkt.key_int for pkt in packets], depth)
+        self.total += n
+        return {XdpAction.DROP: n}
+
+    def columns(self, key: int) -> List[int]:
+        """Uncosted per-row column indexes for ``key`` (mode-faithful).
+
+        Used by the multicore percpu-merge helpers: the column layout
+        must match what :meth:`process` wrote so sharded rows can be
+        summed and queried coherently.
+        """
+        if not self.is_ebpf and self.depth <= CRC_CUTOVER_DEPTH:
+            return [crc_hash32(key, row) % self.width for row in range(self.depth)]
+        return [fast_hash32(key, row) % self.width for row in range(self.depth)]
+
     def estimate(self, key: int) -> int:
         """Point query: minimum over the key's counters (cost-charged)."""
         self._fetch_state()

@@ -60,3 +60,29 @@ class MaglevNF(BaseNF):
         backend = self.select_backend(packet.key_int)
         self.dispatched[backend] += 1
         return XdpAction.REDIRECT
+
+    def process_batch(self, packets) -> dict:
+        """Batch fast path: cycle-identical to per-packet :meth:`process`.
+
+        Per-packet charges are constant (one software hash plus one
+        table read), so the batch charges them in two bulk calls and
+        runs the real table lookups in a tight loop.
+        """
+        n = len(packets)
+        if n == 0:
+            return {}
+        rt = self.rt
+        costs = self.costs
+        rt.charge(costs.hash_scalar * n, Category.OTHER)
+        if self.is_ebpf:
+            rt.charge(costs.percpu_array_lookup * n, Category.FRAMEWORK)
+        else:
+            rt.charge(
+                (KERNEL_TABLE_READ + self.kfunc_overhead()) * n,
+                Category.FRAMEWORK,
+            )
+        table_lookup = self.table.lookup
+        dispatched = self.dispatched
+        for pkt in packets:
+            dispatched[table_lookup(fast_hash32(pkt.key_int, 903))] += 1
+        return {XdpAction.REDIRECT: n}

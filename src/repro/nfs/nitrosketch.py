@@ -107,10 +107,17 @@ class NitroSketchNF(BaseNF):
         self.total += 1
         return XdpAction.DROP
 
+    def columns(self, key: int) -> List[int]:
+        """Uncosted per-row column indexes for ``key`` (mode-faithful).
+
+        Exposed for the multicore percpu-merge helpers, which sum
+        sharded rows across cores and re-run the column selection.
+        """
+        if self.is_ebpf:
+            return [fast_hash32(key, row) % self.width for row in range(self.depth)]
+        return [crc_hash32(key, row) % self.width for row in range(self.depth)]
+
     def estimate(self, key: int) -> float:
         """Median-free NitroSketch estimate: min over rows (uncosted)."""
-        if self.is_ebpf:
-            cols = [fast_hash32(key, row) % self.width for row in range(self.depth)]
-        else:
-            cols = [crc_hash32(key, row) % self.width for row in range(self.depth)]
+        cols = self.columns(key)
         return min(self.rows[row][cols[row]] for row in range(self.depth))

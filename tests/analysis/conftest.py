@@ -1,0 +1,11 @@
+"""Shared fixtures: keep the result cache out of the user's home dir."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def isolated_result_cache(tmp_path, monkeypatch):
+    """Every analysis test gets a private, empty result cache."""
+    cache_dir = tmp_path / "repro-cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    return cache_dir

@@ -1,0 +1,152 @@
+"""Parallel/cached runner must be bit-identical to the serial harness."""
+
+import pytest
+
+from repro.analysis import experiments as exp
+from repro.analysis.__main__ import main
+from repro.analysis.parallel import (
+    EXPERIMENTS,
+    ResultCache,
+    resolve_jobs,
+    run_experiments,
+    subtask_key,
+)
+
+N = 300  # small but non-degenerate workload for identity checks
+
+
+class TestBitIdentical:
+    def test_sweep_serial_vs_parallel(self):
+        serial = exp.fig3e_countmin(n_packets=N)
+        fanned = run_experiments(["fig3e"], n_packets=N, jobs=2)["fig3e"]
+        assert fanned.name == serial.name
+        assert fanned.x_label == serial.x_label
+        assert fanned.points == serial.points
+
+    def test_fig1_serial_vs_parallel(self):
+        serial = exp.fig1_behavior_shares(n_packets=N)
+        fanned = run_experiments(["fig1"], n_packets=N, jobs=2)["fig1"]
+        assert fanned == serial
+
+    def test_fig7_serial_vs_parallel(self):
+        serial = exp.fig7_apps(n_packets=N)
+        fanned = run_experiments(["fig7"], n_packets=N, jobs=2)["fig7"]
+        assert fanned == serial
+        assert list(fanned) == list(serial)  # merge preserves app order
+
+    def test_jobs_one_matches_jobs_two(self):
+        a = run_experiments(["fig3h"], n_packets=N, jobs=1)["fig3h"]
+        b = run_experiments(["fig3h"], n_packets=N, jobs=2)["fig3h"]
+        assert a.points == b.points
+
+    def test_splitters_cover_every_experiment(self):
+        # Any experiment name the CLI can select must split cleanly.
+        for name, experiment in EXPERIMENTS.items():
+            subtasks = experiment.split(100)
+            assert subtasks, name
+            for fn_name, kwargs in subtasks:
+                assert isinstance(fn_name, str)
+                assert isinstance(kwargs, dict)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiments(["fig99"], n_packets=N)
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = subtask_key("fig3e_countmin", {"n_packets": 100})
+        found, _ = cache.get(key)
+        assert not found
+        cache.put(key, {"hello": 1})
+        found, value = cache.get(key)
+        assert found and value == {"hello": 1}
+        assert cache.hits == 1 and cache.misses == 1
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not a pickle",
+            b"garbage\n",  # 'g' is pickle GET: raises ValueError, not UnpicklingError
+            b"",
+            b"\x80\x05garbage",
+        ],
+    )
+    def test_corrupt_entry_is_a_miss(self, tmp_path, garbage):
+        cache = ResultCache(tmp_path)
+        key = subtask_key("fig3e_countmin", {"n_packets": 100})
+        cache.put(key, [1, 2, 3])
+        cache._path(key).write_bytes(garbage)
+        found, _ = cache.get(key)
+        assert not found
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(subtask_key("a", {}), 1)
+        cache.put(subtask_key("b", {}), 2)
+        assert cache.clear() == 2
+        assert cache.clear() == 0
+
+    def test_keys_distinguish_fn_and_params(self):
+        base = subtask_key("fig3e_countmin", {"n_packets": 100})
+        assert subtask_key("fig3e_countmin", {"n_packets": 200}) != base
+        assert subtask_key("fig3d_nitrosketch", {"n_packets": 100}) != base
+        assert subtask_key("fig3e_countmin", {"n_packets": 100}) == base
+
+    def test_warm_cache_skips_recompute_and_matches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_experiments(["fig3h"], n_packets=N, cache=cache)["fig3h"]
+        assert cache.misses > 0 and cache.hits == 0
+        warm_cache = ResultCache(tmp_path)
+        warm = run_experiments(["fig3h"], n_packets=N, cache=warm_cache)["fig3h"]
+        assert warm_cache.misses == 0
+        assert warm_cache.hits == len(EXPERIMENTS["fig3h"].split(N))
+        assert warm.points == cold.points
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs("auto") >= 1
+        assert resolve_jobs(None) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+
+class TestCliIntegration:
+    def test_jobs_flag(self, capsys):
+        assert main(["--only", "fig3h", "--packets", "200", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Eiffel" in out
+        assert "cache:" in out
+
+    def test_no_cache_flag(self, capsys):
+        assert main(["--only", "fig3h", "--packets", "200", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cache:" not in out
+
+    def test_cache_warms_across_invocations(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cli-cache")
+        args = ["--only", "fig3h", "--packets", "200", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "0 hit(s)" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 miss(es)" in second
+        # Identical rendered report either way.
+        assert first.split("[1 experiment(s)")[0] == second.split("[1 experiment(s)")[0]
+
+    def test_clear_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cli-cache")
+        assert main(["--only", "fig3h", "--packets", "200",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["--clear-cache", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out
+
+    def test_bad_jobs_value(self):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0"])
+        with pytest.raises(SystemExit):
+            main(["--jobs", "fast"])

@@ -11,6 +11,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 CASES = {
     "quickstart.py": ["eNetSTL over eBPF", "Mpps"],
+    "multicore_scaling.py": ["aggregate Mpps", "imbalance", "merged 8-core estimate"],
     "heavy_hitter_telemetry.py": ["recall", "NitroSketch"],
     "packet_scheduler.py": ["Carousel", "voice"],
     "skiplist_kv_walkthrough.py": ["dangling", "gap to the kernel"],
