@@ -76,6 +76,9 @@ RUNNERS = {
     ),
     "fig6": lambda n: print(report.render_interfaces(fig6_interface_comparison())),
     "fig7": lambda n: print(report.render_apps(exp.fig7_apps(n_packets=n))),
+    "multicore": lambda n: print(
+        report.render_steering(exp.multicore_steering(n_packets=n))
+    ),
 }
 
 #: Experiment name -> renderer over a computed result object.
@@ -86,6 +89,7 @@ RENDERERS = {
     "fig45": report.render_latency,
     "fig6": report.render_interfaces,
     "fig7": report.render_apps,
+    "multicore": report.render_steering,
 }
 for _name, _title in SWEEP_TITLES.items():
     RENDERERS[_name] = (

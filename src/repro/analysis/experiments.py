@@ -510,3 +510,52 @@ def fig1_behavior_shares(
         share = result.behavior_share(*categories)
         shares.append(BehaviorShare(nf=name, observation=obs, share=share))
     return shares
+
+
+# ---------------------------------------------------------------------------
+# Extension: multi-queue steering / NUMA (beyond the paper's single core)
+# ---------------------------------------------------------------------------
+
+#: Steering policies the multicore experiment sweeps, in report order.
+STEERING_POLICIES = ("rss", "rekey", "ntuple")
+
+
+def multicore_steering(
+    policies: Sequence[str] = STEERING_POLICIES,
+    n_cores: int = 8,
+    n_packets: int = 12000,
+    n_flows: int = 8192,
+    seed: int = 5,
+    numa_nodes: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Zipf replay across the steering policies (streamed, per policy).
+
+    One fresh Zipf(1.1) generator and dispatcher fleet per policy —
+    every policy steers the *identical* packet stream, so cycle totals
+    match across policies and only placement (hence imbalance and
+    aggregate PPS) differs.  ``numa_nodes > 1`` adds the cross-node
+    packet penalty to wall-clock metrics.  The trace is streamed via
+    :meth:`FlowGenerator.iter_trace`; nothing is materialized.
+    """
+    from ..ebpf.cost_model import NumaTopology
+    from ..net.multicore import RssDispatcher
+
+    numa = NumaTopology(n_nodes=numa_nodes) if numa_nodes > 1 else None
+    out: Dict[str, Dict[str, float]] = {}
+    for policy in policies:
+        fg = FlowGenerator(n_flows=n_flows, seed=seed, distribution="zipf")
+        factory = lambda core: CountMinNF(
+            BpfRuntime(mode=ExecMode.ENETSTL, seed=core), depth=4
+        )
+        dispatcher = RssDispatcher(
+            factory, n_cores=n_cores, steering=policy, numa=numa
+        )
+        result = dispatcher.run(fg.iter_trace(n_packets))
+        out[policy] = {
+            "imbalance": result.imbalance,
+            "aggregate_mpps": result.aggregate_mpps,
+            "total_cycles": float(result.total_cycles),
+            "numa_cycles": float(result.total_numa_cycles),
+            "n_packets": float(result.n_packets),
+        }
+    return out

@@ -65,6 +65,7 @@ TASK_FNS: Dict[str, Callable[..., Any]] = {
     "measured_degradations": measured_degradations,
     "table2_results": table2_results,
     "fig6_interface_comparison": fig6_interface_comparison,
+    "multicore_steering": exp.multicore_steering,
 }
 
 
@@ -296,6 +297,14 @@ EXPERIMENTS: Dict[str, Experiment] = {
     ),
     "table2": Experiment(lambda n: [("table2_results", {})], _single),
     "fig6": Experiment(lambda n: [("fig6_interface_comparison", {})], _single),
+    # One subtask per steering policy; each streams its own Zipf trace.
+    "multicore": Experiment(
+        lambda n: [
+            ("multicore_steering", {"policies": (policy,), "n_packets": n})
+            for policy in exp.STEERING_POLICIES
+        ],
+        _merge_dicts,
+    ),
 }
 
 

@@ -145,3 +145,26 @@ def render_table1(measured: Dict[str, float]) -> str:
     for cat, (lo, hi) in PAPER_DEGRADATION_RANGES.items():
         lines.append(f"  paper {cat}: {lo:.1%} .. {hi:.1%}")
     return "\n".join(lines)
+
+
+def render_steering(results: Dict[str, Dict[str, float]]) -> str:
+    lines = ["== Multi-queue steering: 8-core Zipf(1.1) replay =="]
+    lines.append(
+        f"{'policy':>8} | {'imbalance':>9} | {'aggregate':>12} | {'cycles':>12}"
+    )
+    lines.append("-" * 52)
+    for policy, d in results.items():
+        lines.append(
+            f"{policy:>8} | {d['imbalance']:>9.3f} | "
+            f"{d['aggregate_mpps']:>8.2f}Mpps | {int(d['total_cycles']):>12}"
+        )
+    if "rss" in results and "ntuple" in results:
+        gain = (
+            results["ntuple"]["aggregate_mpps"]
+            / results["rss"]["aggregate_mpps"]
+            - 1.0
+        )
+        lines.append(
+            f"ntuple pinning vs plain RSS: +{gain:.1%} aggregate throughput"
+        )
+    return "\n".join(lines)

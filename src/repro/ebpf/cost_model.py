@@ -166,6 +166,59 @@ class CostModel:
 DEFAULT_COSTS = CostModel()
 
 
+@dataclass(frozen=True)
+class NumaTopology:
+    """Cross-node memory penalties for multi-socket shard layouts.
+
+    The paper's testbed is a single socket; scaling the multi-queue
+    data plane past one socket changes the cost picture: the NIC DMAs
+    packet buffers into its local node's memory, so a core on the
+    *other* node pays a remote-DRAM access on every packet touch
+    (QPI/UPI hop: ~1.5-2x local DRAM latency on 2-socket Xeons).  The
+    model charges a flat per-packet penalty to every core whose node
+    differs from the NIC's — deliberately per packet, not per map op,
+    because NF *state* stays node-local under flow-affinity sharding;
+    only the packet buffer crosses sockets.
+
+    Cores map to nodes in contiguous blocks (cores ``0..n/2-1`` on
+    node 0, etc.), matching how Linux enumerates them; an
+    ``interleave`` layout (core ``i`` on node ``i % n_nodes``) models
+    the worst-case scattered pinning.
+    """
+
+    n_nodes: int = 2
+    nic_node: int = 0
+    #: Extra cycles per packet processed on a non-NIC node: one remote
+    #: DRAM fetch of the packet's hot cacheline(s) over the socket
+    #: interconnect, net of the local-access cost already in the model.
+    remote_packet_cycles: int = 60
+    interleave: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if not 0 <= self.nic_node < self.n_nodes:
+            raise ValueError("nic_node must name an existing node")
+        if self.remote_packet_cycles < 0:
+            raise ValueError("remote_packet_cycles must be non-negative")
+
+    def node_of(self, core: int, n_cores: int) -> int:
+        """The NUMA node ``core`` lives on in an ``n_cores`` fleet."""
+        if not 0 <= core < n_cores:
+            raise ValueError(f"core {core} out of range for {n_cores} cores")
+        if self.n_nodes == 1:
+            return 0
+        if self.interleave:
+            return core % self.n_nodes
+        return min(core * self.n_nodes // n_cores, self.n_nodes - 1)
+
+    def packet_penalty_cycles(self, core: int, n_cores: int) -> int:
+        """Per-packet extra cycles ``core`` pays for remote DMA buffers."""
+        if self.node_of(core, n_cores) == self.nic_node:
+            return 0
+        return self.remote_packet_cycles
+
+
 class Cycles:
     """A cycle counter with per-category attribution.
 

@@ -98,6 +98,22 @@ class FlowGenerator:
             yield self._pick().with_timestamp(ts)
             ts += inter_arrival_ns
 
+    def iter_trace(
+        self, n_packets: int, inter_arrival_ns: int = 0, start_ns: int = 0
+    ) -> Iterator[Packet]:
+        """Streaming trace emission: a generator over ``n_packets``.
+
+        The zero-materialization spelling of :meth:`trace` — packets
+        are synthesized one at a time, so a billion-packet replay
+        holds O(1) packets resident.  Feeds directly into
+        :meth:`XdpPipeline.run`/:meth:`run_batch` and
+        :meth:`RssDispatcher.run` (all accept arbitrary iterables) and
+        :func:`repro.net.trace.write_trace_iter`.  Deterministic: for
+        a given generator state it yields exactly the packets
+        :meth:`trace` would materialize.
+        """
+        return self.packets(n_packets, inter_arrival_ns, start_ns)
+
     def trace(self, n_packets: int, inter_arrival_ns: int = 0) -> List[Packet]:
         """Materialized trace (replayable, deterministic)."""
         return list(self.packets(n_packets, inter_arrival_ns))

@@ -27,22 +27,44 @@ This module simulates that regime faithfully:
   (:mod:`repro.ebpf.percpu`) so count-min/NitroSketch estimates remain
   correct when sharded: each core counted a disjoint packet subset, so
   the element-wise sum of the rows is exactly the single-core sketch.
+
+Three extensions on top of the PR 1 data plane:
+
+- **Streaming replay.**  :meth:`RssDispatcher.run` accepts arbitrary
+  packet iterables and shards them *as they stream*: packets buffer
+  per queue only up to one batch, so peak memory is
+  O(``n_cores x batch_size``) instead of O(trace).  Cycle accounting
+  is unchanged — batch boundaries and per-core packet order are
+  identical to the materialize-then-shard path.
+- **Pluggable steering** (:mod:`repro.net.steering`): plain RSS, RSS
+  key re-search (``rekey``), or ntuple heavy-hitter pinning
+  (``ntuple``) — the latter two cut the Zipf load imbalance while
+  leaving per-packet cycle charges untouched.
+- **NUMA accounting** (:class:`repro.ebpf.cost_model.NumaTopology`):
+  cores on a different node than the NIC pay a per-packet remote-DRAM
+  penalty, surfaced as ``numa_cycles`` on :class:`MulticoreResult` and
+  folded into aggregate PPS/wall-clock/imbalance (NF cycle totals stay
+  bit-identical; the penalty is reported separately).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from itertools import chain, islice
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.algorithms.hashing import fast_hash32
-from ..ebpf.cost_model import CPU_HZ, Category
+from ..ebpf.cost_model import CPU_HZ, Category, NumaTopology
 from ..ebpf.percpu import or_words, sum_counts, sum_matrices
 from .packet import Packet
-from .xdp import DEFAULT_BATCH_SIZE, NetworkFunction, PipelineResult, XdpPipeline
-
-#: Seed of the simulated RSS (Toeplitz) hash.  Changing it re-shuffles
-#: flow -> queue placement, like rewriting the NIC's RSS key.
-RSS_HASH_SEED = 0x52535348
+from .steering import RSS_HASH_SEED, RssSteering, SteeringPolicy, make_policy
+from .xdp import (
+    DEFAULT_BATCH_SIZE,
+    NetworkFunction,
+    PipelineResult,
+    ReplaySession,
+    XdpPipeline,
+)
 
 
 def rss_queue(packet: Packet, n_cores: int, hash_seed: int = RSS_HASH_SEED) -> int:
@@ -67,10 +89,19 @@ def shard_trace(
 
 @dataclass
 class MulticoreResult:
-    """System-level aggregate of one multi-queue replay."""
+    """System-level aggregate of one multi-queue replay.
+
+    ``numa_cycles`` (when a :class:`NumaTopology` was in play) holds
+    each core's *extra* cross-node packet-access cycles, kept separate
+    from the NF cycle accounting so ``total_cycles`` stays bit-identical
+    to a single-node run; wall-clock-derived metrics (aggregate PPS,
+    imbalance, lossless capture) include the penalty.
+    """
 
     per_core: List[PipelineResult]
     actions: Dict[str, int] = field(default_factory=dict)
+    #: Per-core cross-NUMA-node penalty cycles (empty: single node).
+    numa_cycles: List[int] = field(default_factory=list)
 
     @property
     def n_cores(self) -> int:
@@ -82,11 +113,26 @@ class MulticoreResult:
 
     @property
     def total_cycles(self) -> int:
+        """NF + framework cycles only (NUMA penalties reported apart)."""
         return sum(r.total_cycles for r in self.per_core)
+
+    @property
+    def total_numa_cycles(self) -> int:
+        return sum(self.numa_cycles)
 
     @property
     def per_core_cycles(self) -> List[int]:
         return [r.total_cycles for r in self.per_core]
+
+    @property
+    def per_core_loaded_cycles(self) -> List[int]:
+        """Per-core cycles including any cross-node memory penalty."""
+        if not self.numa_cycles:
+            return self.per_core_cycles
+        return [
+            r.total_cycles + extra
+            for r, extra in zip(self.per_core, self.numa_cycles)
+        ]
 
     @property
     def per_core_cycles_per_packet(self) -> List[float]:
@@ -94,7 +140,8 @@ class MulticoreResult:
 
     @property
     def busiest_core_cycles(self) -> int:
-        return max(self.per_core_cycles) if self.per_core else 0
+        loaded = self.per_core_loaded_cycles
+        return max(loaded) if loaded else 0
 
     @property
     def wall_time_s(self) -> float:
@@ -120,12 +167,14 @@ class MulticoreResult:
         1.0 is a perfectly balanced fleet; RSS over Zipf-skewed traffic
         drives it up (the heavy flows pin to single queues), which is
         exactly the aggregate-throughput loss the metric quantifies:
-        ``aggregate_pps = ideal_pps / imbalance``.
+        ``aggregate_pps = ideal_pps / imbalance``.  NUMA penalties count
+        toward core load (a remote core is effectively slower).
         """
-        cycles = self.per_core_cycles
-        if not cycles or self.total_cycles == 0:
+        cycles = self.per_core_loaded_cycles
+        total = sum(cycles)
+        if not cycles or total == 0:
             return 1.0
-        return max(cycles) / (self.total_cycles / len(cycles))
+        return max(cycles) / (total / len(cycles))
 
     @property
     def by_category(self) -> Dict[Category, int]:
@@ -134,23 +183,31 @@ class MulticoreResult:
 
     # -- lossless-capture check (à la eBPF-Flow-Collector) -------------
 
+    @property
+    def per_core_loaded_pps(self) -> List[float]:
+        """Each core's saturation rate, NUMA penalty included."""
+        return [
+            r.n_packets * CPU_HZ / loaded if loaded and r.n_packets else 0.0
+            for r, loaded in zip(self.per_core, self.per_core_loaded_cycles)
+        ]
+
     def lossless_at(self, offered_pps: float) -> bool:
         """Can the fleet absorb ``offered_pps`` without dropping?
 
         The offered aggregate rate splits across queues in the ratio
-        RSS actually produced; the capture is lossless iff every core's
-        share stays below that core's saturation rate.
+        steering actually produced; the capture is lossless iff every
+        core's share stays below that core's saturation rate.
         """
         if offered_pps < 0:
             raise ValueError("offered_pps must be non-negative")
         total = self.n_packets
         if total == 0:
             return True
-        for r in self.per_core:
+        for r, core_pps in zip(self.per_core, self.per_core_loaded_pps):
             if r.n_packets == 0:
                 continue
             share = r.n_packets / total
-            if offered_pps * share > r.pps:
+            if offered_pps * share > core_pps:
                 return False
         return True
 
@@ -165,7 +222,9 @@ class MulticoreResult:
         if total == 0:
             return float("inf")
         rates = [
-            r.pps * total / r.n_packets for r in self.per_core if r.n_packets
+            core_pps * total / r.n_packets
+            for r, core_pps in zip(self.per_core, self.per_core_loaded_pps)
+            if r.n_packets
         ]
         return min(rates) if rates else float("inf")
 
@@ -182,6 +241,13 @@ class RssDispatcher:
     ``nf_factory(core_id)`` must build a fresh NF bound to a fresh
     :class:`BpfRuntime` for each core — per-CPU semantics require
     private state.  The dispatcher refuses shared runtimes.
+
+    ``steering`` selects the queue-placement policy: a policy name
+    (``"rss"``/``"rekey"``/``"ntuple"``), a ready
+    :class:`~repro.net.steering.SteeringPolicy` instance, or ``None``
+    for plain RSS with ``hash_seed``.  ``numa`` attaches a
+    :class:`NumaTopology` whose cross-node packet penalties are folded
+    into the result's wall-clock metrics.
     """
 
     def __init__(
@@ -190,11 +256,24 @@ class RssDispatcher:
         n_cores: int,
         hash_seed: int = RSS_HASH_SEED,
         charge_framework: bool = True,
+        steering: Union[str, SteeringPolicy, None] = None,
+        numa: Optional[NumaTopology] = None,
     ) -> None:
         if n_cores <= 0:
             raise ValueError("n_cores must be positive")
         self.n_cores = n_cores
         self.hash_seed = hash_seed
+        if steering is None:
+            steering = RssSteering(n_cores, hash_seed=hash_seed)
+        elif isinstance(steering, str):
+            steering = make_policy(steering, n_cores)
+        if steering.n_cores != n_cores:
+            raise ValueError(
+                f"steering policy built for {steering.n_cores} cores, "
+                f"dispatcher has {n_cores}"
+            )
+        self.steering = steering
+        self.numa = numa
         self.nfs: List[NetworkFunction] = [
             nf_factory(core) for core in range(n_cores)
         ]
@@ -209,33 +288,72 @@ class RssDispatcher:
         ]
 
     def queue_of(self, packet: Packet) -> int:
-        return rss_queue(packet, self.n_cores, self.hash_seed)
+        return self.steering.queue_of(packet)
 
     def run(
         self,
-        trace: Sequence[Packet],
+        trace: Iterable[Packet],
         batch_size: int = DEFAULT_BATCH_SIZE,
         use_batch: bool = True,
         advance_clock: bool = True,
     ) -> MulticoreResult:
-        """Shard ``trace`` by RSS and replay every queue on its core.
+        """Steer ``trace`` across the queues and replay each on its core.
+
+        ``trace`` may be any iterable — including a one-shot generator.
+        Packets are steered *as they stream*: each queue buffers at most
+        one batch before its core's :class:`ReplaySession` consumes it,
+        so peak memory is O(``n_cores x batch_size``) regardless of
+        trace length.  Per-core packet order and batch boundaries match
+        the materialize-then-shard path exactly, so cycle accounting is
+        unchanged.
+
+        If the steering policy wants a traffic sample
+        (``sample_size > 0``), exactly that many packets are buffered
+        from the head of the stream to fit the policy, then replayed
+        first — no packet is dropped or double-counted.
 
         ``use_batch`` selects the batched replay path (cycle-identical
         to per-packet, just faster); disable it for NFs that need
         per-packet clock advance.
         """
-        queues = shard_trace(trace, self.n_cores, self.hash_seed)
-        per_core: List[PipelineResult] = []
-        for pipeline, queue in zip(self.pipelines, queues):
-            if use_batch:
-                result = pipeline.run_batch(
-                    queue, batch_size=batch_size, advance_clock=advance_clock
-                )
-            else:
-                result = pipeline.run(queue, advance_clock=advance_clock)
-            per_core.append(result)
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        stream = iter(trace)
+        policy = self.steering
+        if policy.sample_size > 0:
+            sample = list(islice(stream, policy.sample_size))
+            policy.prepare(sample)
+            stream = chain(sample, stream)
+        sessions = [
+            ReplaySession(
+                pipeline, advance_clock=advance_clock, use_batch=use_batch
+            )
+            for pipeline in self.pipelines
+        ]
+        buffers: List[List[Packet]] = [[] for _ in range(self.n_cores)]
+        queue_of = policy.queue_of
+        for pkt in stream:
+            queue = queue_of(pkt)
+            buf = buffers[queue]
+            buf.append(pkt)
+            if len(buf) == batch_size:
+                sessions[queue].feed(buf)
+                buffers[queue] = []
+        for queue, buf in enumerate(buffers):
+            if buf:
+                sessions[queue].feed(buf)
+        per_core = [session.finish() for session in sessions]
         actions = sum_counts([r.actions for r in per_core])
-        return MulticoreResult(per_core=per_core, actions=actions)
+        numa_cycles: List[int] = []
+        if self.numa is not None:
+            numa_cycles = [
+                self.numa.packet_penalty_cycles(core, self.n_cores)
+                * result.n_packets
+                for core, result in enumerate(per_core)
+            ]
+        return MulticoreResult(
+            per_core=per_core, actions=actions, numa_cycles=numa_cycles
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -16,6 +16,14 @@ Two replay paths exist:
   whole batch in one call.  Cycle-accounting is identical to ``run``
   by construction (tested); only the Python-side wall-clock cost drops.
 
+Both paths consume **arbitrary iterables**: a generator source
+(:meth:`FlowGenerator.iter_trace`, :func:`repro.net.trace.iter_trace`)
+replays with O(batch) peak memory — the full trace is never
+materialized.  :class:`ReplaySession` exposes the same accounting
+incrementally (``feed`` batches as they arrive, ``finish`` for the
+result), which is how the streaming multi-queue dispatcher drives one
+pipeline per core off a single shared packet stream.
+
 Multi-queue (RSS) replay lives in :mod:`repro.net.multicore`.
 """
 
@@ -23,7 +31,8 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Protocol
+from itertools import islice
+from typing import Dict, Iterable, Iterator, List, Protocol, Sequence
 
 from ..ebpf.cost_model import (
     CPU_HZ,
@@ -205,6 +214,56 @@ class XdpPipeline:
             latencies_ns=latencies,
         )
 
+    def _replay_batch(
+        self,
+        batch: Sequence[Packet],
+        actions: Counter,
+        advance_clock: bool,
+        use_batch: bool = True,
+    ) -> None:
+        """Charge and process one batch (the shared batched-replay core).
+
+        Framework costs (XDP dispatch + parse) are charged in bulk —
+        identical in total and category to the per-packet charges
+        :meth:`run` makes.  If ``use_batch`` and the NF implements
+        ``process_batch``, the whole batch is handed over in one call;
+        otherwise ``process`` runs per packet with per-packet clock
+        advance, exactly as :meth:`run`.
+        """
+        rt = self.rt
+        m = len(batch)
+        if self.charge_framework:
+            costs = rt.costs
+            rt.charge(costs.xdp_dispatch * m, Category.FRAMEWORK)
+            rt.charge(costs.packet_parse * m, Category.PARSE)
+        process_batch = (
+            getattr(self.nf, "process_batch", None) if use_batch else None
+        )
+        if process_batch is not None:
+            if advance_clock:
+                ts = max(pkt.timestamp_ns for pkt in batch)
+                if ts > rt.now_ns:
+                    rt.advance_time_ns(ts - rt.now_ns)
+            verdicts = process_batch(batch)
+            for action, count in verdicts.items():
+                if action not in _VALID_ACTIONS:
+                    raise ValueError(
+                        f"NF returned invalid XDP action {action!r}"
+                    )
+                actions[action] += count
+        else:
+            nf_process = self.nf.process
+            for pkt in batch:
+                ts = pkt.timestamp_ns
+                if advance_clock and ts > rt.now_ns:
+                    rt.advance_time_ns(ts - rt.now_ns)
+                action = nf_process(pkt)
+                if action not in _VALID_ACTIONS:
+                    raise ValueError(
+                        f"NF returned invalid XDP action {action!r}"
+                    )
+                actions[action] += 1
+
     def run_batch(
         self,
         trace: Iterable[Packet],
@@ -221,61 +280,103 @@ class XdpPipeline:
         the NF's ``process`` runs per packet with per-packet clock
         advance, exactly as :meth:`run`.
 
+        ``trace`` may be any iterable.  Generator sources are consumed
+        one batch at a time, so peak memory is O(``batch_size``), never
+        O(trace) — the streaming replay path.
+
         Latency measurement needs per-packet cycle deltas; use
         :meth:`run` for latency experiments.
         """
-        if batch_size <= 0:
-            raise ValueError("batch_size must be positive")
-        rt = self.rt
-        costs = rt.costs
-        charge = rt.charge
-        cycles = rt.cycles
-        charge_framework = self.charge_framework
-        dispatch_cost = costs.xdp_dispatch
-        parse_cost = costs.packet_parse
-        framework_cat = Category.FRAMEWORK
-        parse_cat = Category.PARSE
-        process_batch = getattr(self.nf, "process_batch", None)
-        nf_process = self.nf.process
-        packets = trace if isinstance(trace, (list, tuple)) else list(trace)
+        cycles = self.rt.cycles
         actions: Counter = Counter()
         start = cycles.checkpoint()
         n = 0
-        for i in range(0, len(packets), batch_size):
-            batch = packets[i : i + batch_size]
-            m = len(batch)
-            if charge_framework:
-                charge(dispatch_cost * m, framework_cat)
-                charge(parse_cost * m, parse_cat)
-            if process_batch is not None:
-                if advance_clock:
-                    ts = max(pkt.timestamp_ns for pkt in batch)
-                    if ts > rt.now_ns:
-                        rt.advance_time_ns(ts - rt.now_ns)
-                verdicts = process_batch(batch)
-                for action, count in verdicts.items():
-                    if action not in _VALID_ACTIONS:
-                        raise ValueError(
-                            f"NF returned invalid XDP action {action!r}"
-                        )
-                    actions[action] += count
-            else:
-                for pkt in batch:
-                    ts = pkt.timestamp_ns
-                    if advance_clock and ts > rt.now_ns:
-                        rt.advance_time_ns(ts - rt.now_ns)
-                    action = nf_process(pkt)
-                    if action not in _VALID_ACTIONS:
-                        raise ValueError(
-                            f"NF returned invalid XDP action {action!r}"
-                        )
-                    actions[action] += 1
-            n += m
+        for batch in iter_batches(trace, batch_size):
+            self._replay_batch(batch, actions, advance_clock)
+            n += len(batch)
         delta = cycles.delta_since(start)
         return PipelineResult(
             n_packets=n,
             total_cycles=delta.total,
             actions=dict(actions),
+            by_category=delta.by_category,
+            latencies_ns=[],
+        )
+
+
+def iter_batches(
+    trace: Iterable[Packet], batch_size: int
+) -> Iterator[Sequence[Packet]]:
+    """Yield ``trace`` in batches of up to ``batch_size`` packets.
+
+    Sequences are sliced in place (no copy of the whole trace); any
+    other iterable is drained incrementally, holding at most one batch
+    at a time — the primitive behind every streaming replay path.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if isinstance(trace, (list, tuple)):
+        for i in range(0, len(trace), batch_size):
+            yield trace[i : i + batch_size]
+        return
+    it = iter(trace)
+    while True:
+        batch = list(islice(it, batch_size))
+        if not batch:
+            return
+        yield batch
+
+
+class ReplaySession:
+    """Incremental replay: ``feed`` packet batches, ``finish`` -> result.
+
+    The streaming multi-queue dispatcher shards one shared packet
+    stream across cores and hands each core its packets as they
+    arrive; a session accumulates that core's replay without ever
+    seeing the whole trace.  Cycle accounting is identical to
+    :meth:`XdpPipeline.run_batch` (and, with ``use_batch=False``, to
+    :meth:`XdpPipeline.run`) by construction: both call the same
+    batch-replay core, and the final result is the cycle delta since
+    the session opened.
+    """
+
+    def __init__(
+        self,
+        pipeline: XdpPipeline,
+        advance_clock: bool = True,
+        use_batch: bool = True,
+    ) -> None:
+        self.pipeline = pipeline
+        self.advance_clock = advance_clock
+        self.use_batch = use_batch
+        self._actions: Counter = Counter()
+        self._n = 0
+        self._start = pipeline.rt.cycles.checkpoint()
+        self._finished = False
+
+    @property
+    def n_packets(self) -> int:
+        return self._n
+
+    def feed(self, batch: Sequence[Packet]) -> None:
+        """Replay one batch of packets through the core's pipeline."""
+        if self._finished:
+            raise RuntimeError("session already finished")
+        if not batch:
+            return
+        self.pipeline._replay_batch(
+            batch, self._actions, self.advance_clock, self.use_batch
+        )
+        self._n += len(batch)
+
+    def finish(self) -> PipelineResult:
+        """Close the session and aggregate everything fed so far."""
+        self._finished = True
+        delta = self.pipeline.rt.cycles.delta_since(self._start)
+        return PipelineResult(
+            n_packets=self._n,
+            total_cycles=delta.total,
+            actions=dict(self._actions),
             by_category=delta.by_category,
             latencies_ns=[],
         )

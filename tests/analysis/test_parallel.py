@@ -52,6 +52,23 @@ class TestBitIdentical:
         with pytest.raises(ValueError):
             run_experiments(["fig99"], n_packets=N)
 
+    def test_multicore_steering_serial_vs_parallel(self):
+        """The steering matrix fans one policy per worker; results and
+        policy order must match the serial run exactly."""
+        serial = exp.multicore_steering(n_packets=2000)
+        fanned = run_experiments(["multicore"], n_packets=2000, jobs=2)[
+            "multicore"
+        ]
+        assert fanned == serial
+        assert list(fanned) == list(serial)
+        assert set(serial) == set(exp.STEERING_POLICIES)
+
+    def test_multicore_steering_improves_imbalance(self):
+        results = exp.multicore_steering(n_packets=4000)
+        assert results["ntuple"]["imbalance"] <= results["rss"]["imbalance"]
+        cycles = {d["total_cycles"] for d in results.values()}
+        assert len(cycles) == 1
+
 
 class TestResultCache:
     def test_round_trip(self, tmp_path):

@@ -101,6 +101,23 @@ class TestBatchCycleIdentity:
         )
         assert_cycle_identical(per_packet, batched)
 
+    def test_generator_source_identical_to_list(self):
+        """run_batch over a one-shot iterator == over the same list."""
+        fg = FlowGenerator(n_flows=128, seed=3, distribution="zipf")
+        trace = fg.trace(2000)
+        make = lambda: CountMinNF(BpfRuntime(mode=ExecMode.ENETSTL, seed=1))
+        from_list = XdpPipeline(make()).run_batch(trace)
+        from_iter = XdpPipeline(make()).run_batch(iter(trace))
+        assert from_list == from_iter
+
+    def test_run_accepts_generators(self):
+        fg = FlowGenerator(n_flows=64, seed=3)
+        trace = fg.trace(500)
+        make = lambda: CountMinNF(BpfRuntime(mode=ExecMode.ENETSTL, seed=1))
+        assert XdpPipeline(make()).run(iter(trace)) == XdpPipeline(make()).run(
+            trace
+        )
+
     def test_invalid_batch_size(self):
         nf = CountMinNF(BpfRuntime(seed=1))
         with pytest.raises(ValueError):

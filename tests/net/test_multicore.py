@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.cost_model import ExecMode, NumaTopology
 from repro.ebpf.percpu import merge_breakdowns, or_words, sum_matrices, sum_vectors
 from repro.ebpf.runtime import BpfRuntime
 from repro.net.flowgen import FlowGenerator
@@ -118,6 +118,82 @@ class TestRssDispatcher:
         assert result.imbalance == 1.0
         assert result.lossless_at(1e9)
         assert result.max_lossless_pps == float("inf")
+
+
+class TestNumaTopology:
+    def test_node_of_contiguous_blocks(self):
+        numa = NumaTopology(n_nodes=2)
+        assert [numa.node_of(c, 8) for c in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+    def test_node_of_interleaved(self):
+        numa = NumaTopology(n_nodes=2, interleave=True)
+        assert [numa.node_of(c, 8) for c in range(8)] == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_node_of_uneven_core_count(self):
+        numa = NumaTopology(n_nodes=2)
+        nodes = [numa.node_of(c, 6) for c in range(6)]
+        assert nodes == sorted(nodes)
+        assert set(nodes) == {0, 1}
+
+    def test_packet_penalty(self):
+        numa = NumaTopology(n_nodes=2, remote_packet_cycles=60)
+        assert numa.packet_penalty_cycles(0, 8) == 0  # NIC-local node
+        assert numa.packet_penalty_cycles(7, 8) == 60
+
+    def test_single_node_never_penalizes(self):
+        numa = NumaTopology(n_nodes=1)
+        assert all(numa.packet_penalty_cycles(c, 8) == 0 for c in range(8))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NumaTopology(n_nodes=0)
+        with pytest.raises(ValueError):
+            NumaTopology(n_nodes=2, nic_node=2)
+        with pytest.raises(ValueError):
+            NumaTopology(n_nodes=2, remote_packet_cycles=-1)
+
+
+class TestNumaDispatch:
+    def _run(self, numa):
+        fg = FlowGenerator(n_flows=512, seed=5, distribution="zipf")
+        return RssDispatcher(countmin_factory(), n_cores=8, numa=numa).run(
+            fg.trace(6000)
+        )
+
+    def test_nf_cycles_bit_identical_across_topologies(self):
+        """The penalty is a memory-system effect, not NF work: cycle
+        accounting (totals and categories) must not change."""
+        local = self._run(None)
+        remote = self._run(NumaTopology(n_nodes=2))
+        assert remote.total_cycles == local.total_cycles
+        assert remote.per_core_cycles == local.per_core_cycles
+        assert remote.by_category == local.by_category
+
+    def test_penalty_lowers_wall_clock_metrics(self):
+        local = self._run(None)
+        remote = self._run(NumaTopology(n_nodes=2))
+        assert remote.total_numa_cycles > 0
+        assert remote.aggregate_pps <= local.aggregate_pps
+        assert remote.wall_time_s >= local.wall_time_s
+        assert remote.max_lossless_pps <= local.max_lossless_pps
+
+    def test_penalty_accounting_is_per_packet(self):
+        numa = NumaTopology(n_nodes=2, remote_packet_cycles=60)
+        result = self._run(numa)
+        for core, r in enumerate(result.per_core):
+            expected = numa.packet_penalty_cycles(core, 8) * r.n_packets
+            assert result.numa_cycles[core] == expected
+        loaded = result.per_core_loaded_cycles
+        assert loaded == [
+            c + p for c, p in zip(result.per_core_cycles, result.numa_cycles)
+        ]
+
+    def test_single_node_topology_is_a_noop(self):
+        local = self._run(None)
+        one_node = self._run(NumaTopology(n_nodes=1))
+        assert one_node.total_numa_cycles == 0
+        assert one_node.aggregate_pps == local.aggregate_pps
+        assert one_node.imbalance == local.imbalance
 
 
 class TestPercpuMerge:

@@ -1,0 +1,82 @@
+"""Tests for the trace-replay CLI (python -m repro.net.replay)."""
+
+import pytest
+
+from repro.net.flowgen import FlowGenerator
+from repro.net.replay import main, replay
+from repro.net.trace import dump_trace
+
+
+@pytest.fixture()
+def trace_csv(tmp_path):
+    path = tmp_path / "trace.csv"
+    dump_trace(
+        FlowGenerator(n_flows=128, seed=5, distribution="zipf").trace(2000),
+        path,
+    )
+    return str(path)
+
+
+class TestReplayFunction:
+    def test_streamed_equals_materialized(self, trace_csv):
+        a = replay(trace_csv, cores=4, stream=False)
+        b = replay(trace_csv, cores=4, stream=True)
+        assert a.per_core == b.per_core
+        assert a.actions == b.actions
+
+    @pytest.mark.parametrize("policy", ["rss", "rekey", "ntuple"])
+    def test_policies_accepted(self, trace_csv, policy):
+        result = replay(trace_csv, cores=4, policy=policy, stream=True)
+        assert result.n_packets == 2000
+
+    def test_numa_nodes(self, trace_csv):
+        local = replay(trace_csv, cores=4)
+        remote = replay(trace_csv, cores=4, numa_nodes=2)
+        assert remote.total_cycles == local.total_cycles
+        assert remote.total_numa_cycles > 0
+
+
+class TestCli:
+    def test_basic_invocation(self, trace_csv, capsys):
+        assert main([trace_csv, "--cores", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 2000 packets on 4 core(s)" in out
+        assert "imbalance" in out
+
+    def test_stream_flag_reports_streaming(self, trace_csv, capsys):
+        assert main([trace_csv, "--stream", "--policy", "ntuple"]) == 0
+        out = capsys.readouterr().out
+        assert "streamed" in out
+        assert "policy=ntuple" in out
+
+    def test_stream_and_materialized_print_same_metrics(
+        self, trace_csv, capsys
+    ):
+        main([trace_csv, "--cores", "4"])
+        materialized = capsys.readouterr().out
+        main([trace_csv, "--cores", "4", "--stream"])
+        streamed = capsys.readouterr().out
+        keep = ("aggregate", "imbalance", "total cycles", "per-core packets")
+        pick = lambda text: [
+            line for line in text.splitlines()
+            if any(k in line for k in keep)
+        ]
+        assert pick(materialized) == pick(streamed)
+
+    def test_numa_flag_prints_penalty(self, trace_csv, capsys):
+        assert main([trace_csv, "--numa-nodes", "2"]) == 0
+        assert "numa cycles" in capsys.readouterr().out
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.csv")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_trace_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("not,a,trace\n")
+        assert main([str(bad), "--stream"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected_by_argparse(self, trace_csv):
+        with pytest.raises(SystemExit):
+            main([trace_csv, "--policy", "magic"])
