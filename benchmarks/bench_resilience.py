@@ -1,0 +1,256 @@
+"""Resilience benchmark (PR 3's acceptance numbers).
+
+Not a pytest module — run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py [--quick] [--out PATH]
+
+Measures, and self-asserts, the PR 3 fault-injection data plane:
+
+1. **Fault-rate sweep** — 8-core Zipf replay at injected aggregate
+   fault rates 0 / 0.1% / 1% / 5%: every run must complete with zero
+   uncaught exceptions and *fully balanced* packet accounting
+   (``packets_in + duplicated == forwarded + dropped + aborted``);
+   aggregate PPS and loss are charted per rate.
+2. **Watchdog** — the same replay with one core killed mid-run: the
+   watchdog must detect the crash, re-steer the victim's traffic to the
+   surviving cores, and the aggregate PPS before/after the failure is
+   recorded.  A wedge run exercises the deadline detector the same way.
+3. **Determinism** — two runs from the identical ``FaultPlan`` seed
+   must produce bit-identical fault schedules and metrics; a different
+   seed must not.
+
+Results land in ``BENCH_PR3.json`` next to the repo root; the CI smoke
+step re-checks the JSON's schema and the zero-crash guarantee.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.faults import FaultPlan
+from repro.net.flowgen import FlowGenerator
+from repro.net.multicore import MulticoreResult, RssDispatcher
+from repro.nfs import CountMinNF
+
+N_CORES = 8
+ZIPF_S = 1.1
+N_FLOWS = 8192
+FAULT_RATES = (0.0, 0.001, 0.01, 0.05)
+
+#: The headline acceptance rate: "under 1% injected faults ...".
+HEADLINE_RATE = 0.01
+
+
+def factory(core: int) -> CountMinNF:
+    return CountMinNF(BpfRuntime(mode=ExecMode.ENETSTL, seed=core), depth=4)
+
+
+def zipf_stream(n_packets: int):
+    fg = FlowGenerator(n_flows=N_FLOWS, seed=5, distribution="zipf", zipf_s=ZIPF_S)
+    return fg.iter_trace(n_packets)
+
+
+def run_fleet(n_packets: int, plan: FaultPlan = None,
+              watchdog_deadline: int = 512) -> MulticoreResult:
+    dispatcher = RssDispatcher(
+        factory, n_cores=N_CORES, faults=plan,
+        watchdog_deadline=watchdog_deadline,
+    )
+    return dispatcher.run(zipf_stream(n_packets))
+
+
+def fault_rate_suite(n_packets: int) -> dict:
+    out = {
+        "n_packets": n_packets,
+        "n_cores": N_CORES,
+        "n_flows": N_FLOWS,
+        "zipf_s": ZIPF_S,
+        "rates": {},
+    }
+    baseline_mpps = None
+    for rate in FAULT_RATES:
+        plan = FaultPlan.uniform(rate, seed=11) if rate else None
+        result = run_fleet(n_packets, plan)
+        assert result.is_fully_accounted, (
+            f"rate {rate}: accounting broken: {result.accounting()}"
+        )
+        acc = result.accounting()
+        # Loss = packets that did not make it through as forwarded or a
+        # deliberate NF verdict: injected drops + aborts, over offered.
+        injected_loss = (
+            result.injected.get("pkt_drop", 0)
+            + result.aborted
+        )
+        entry = {
+            "accounting": acc,
+            "accounted": True,
+            "aggregate_mpps": round(result.aggregate_mpps, 3),
+            "injected": dict(result.injected),
+            "total_injected": sum(result.injected.values()),
+            "errors": dict(result.errors),
+            "injected_loss_fraction": round(injected_loss / acc["packets_in"], 6),
+        }
+        out["rates"][str(rate)] = entry
+        if rate == 0.0:
+            baseline_mpps = entry["aggregate_mpps"]
+            assert entry["total_injected"] == 0
+        else:
+            assert entry["total_injected"] > 0, f"rate {rate}: nothing injected"
+    headline = out["rates"][str(HEADLINE_RATE)]
+    assert headline["accounted"], "headline 1% run must balance"
+    assert sum(headline["errors"].values()) > 0, (
+        "1% faults must surface in the error counters"
+    )
+    out["baseline_mpps"] = baseline_mpps
+    return out
+
+
+def watchdog_suite(n_packets: int) -> dict:
+    healthy = run_fleet(n_packets, FaultPlan.uniform(HEADLINE_RATE, seed=11))
+    pps_before = healthy.aggregate_mpps
+
+    crash_plan = FaultPlan.uniform(
+        HEADLINE_RATE, seed=11, crash_core=3, crash_at=n_packets // (4 * N_CORES)
+    )
+    crashed = run_fleet(n_packets, crash_plan)
+    assert crashed.is_fully_accounted, (
+        f"crash run accounting broken: {crashed.accounting()}"
+    )
+    assert len(crashed.failures) == 1 and crashed.failures[0].kind == "crash", (
+        "watchdog must detect exactly the killed core"
+    )
+    failure = crashed.failures[0]
+    assert failure.resteered > 0, "crash must re-steer traffic to survivors"
+    assert crashed.lost == 0, "a detected crash loses no packets"
+    # 7 survivors absorb the victim's flows: the fleet completes the
+    # whole trace, at lower aggregate throughput than the healthy run.
+    pps_after = crashed.aggregate_mpps
+    assert pps_after < pps_before, (
+        f"losing a core must cost throughput ({pps_after} !< {pps_before})"
+    )
+
+    wedge_plan = FaultPlan.uniform(
+        HEADLINE_RATE, seed=11, wedge_core=2, wedge_at=n_packets // (4 * N_CORES)
+    )
+    wedged = run_fleet(n_packets, wedge_plan, watchdog_deadline=512)
+    assert wedged.is_fully_accounted, (
+        f"wedge run accounting broken: {wedged.accounting()}"
+    )
+    assert len(wedged.failures) == 1 and wedged.failures[0].kind == "wedge"
+    assert wedged.lost > 0, "a wedge loses the packets behind the stall"
+    assert wedged.lost >= min(512, 1), "deadline governs wedge loss"
+
+    return {
+        "n_packets": n_packets,
+        "aggregate_mpps_before": round(pps_before, 3),
+        "crash": {
+            "aggregate_mpps_after": round(pps_after, 3),
+            "failure": failure.describe(),
+            "accounting": crashed.accounting(),
+        },
+        "wedge": {
+            "aggregate_mpps_after": round(wedged.aggregate_mpps, 3),
+            "failure": wedged.failures[0].describe(),
+            "watchdog_deadline": 512,
+            "accounting": wedged.accounting(),
+        },
+    }
+
+
+def determinism_suite(n_packets: int) -> dict:
+    plan = FaultPlan.uniform(HEADLINE_RATE, seed=77)
+    a = run_fleet(n_packets, plan)
+    b = run_fleet(n_packets, FaultPlan.uniform(HEADLINE_RATE, seed=77))
+    identical = (
+        a.accounting() == b.accounting()
+        and a.injected == b.injected
+        and a.errors == b.errors
+        and a.per_core_cycles == b.per_core_cycles
+    )
+    assert identical, "identical seeds must reproduce bit-identical runs"
+    c = run_fleet(n_packets, FaultPlan.uniform(HEADLINE_RATE, seed=78))
+    diverged = c.injected != a.injected or c.accounting() != a.accounting()
+    assert diverged, "different seeds must produce different schedules"
+    return {
+        "n_packets": n_packets,
+        "same_seed_bit_identical": identical,
+        "different_seed_diverges": diverged,
+        "schedule_fingerprint": dict(a.injected),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (fewer packets; same assertions)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+    n_packets = 8000 if args.quick else 24000
+
+    print(f"fault-rate sweep ({n_packets} packets, rates {FAULT_RATES}) ...")
+    sweep = fault_rate_suite(n_packets)
+    for rate, entry in sweep["rates"].items():
+        print(
+            f"  rate {rate:>5}: {entry['aggregate_mpps']:6.2f} Mpps, "
+            f"{entry['total_injected']} injected, "
+            f"loss {entry['injected_loss_fraction']:.4f}"
+        )
+
+    print("watchdog suite (crash + wedge) ...")
+    watchdog = watchdog_suite(n_packets)
+    print(
+        f"  crash: {watchdog['aggregate_mpps_before']:.2f} -> "
+        f"{watchdog['crash']['aggregate_mpps_after']:.2f} Mpps, "
+        f"re-steered {watchdog['crash']['failure']['resteered']}"
+    )
+    print(
+        f"  wedge: lost {watchdog['wedge']['failure']['lost']} before "
+        f"deadline, re-steered {watchdog['wedge']['failure']['resteered']}"
+    )
+
+    print("determinism suite ...")
+    determinism = determinism_suite(min(n_packets, 8000))
+
+    payload = {
+        "benchmark": "PR3 fault-injection + graceful degradation + watchdog recovery",
+        "host": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+            "machine": platform.machine(),
+        },
+        "quick": args.quick,
+        "fault_rates": sweep,
+        "watchdog": watchdog,
+        "determinism": determinism,
+        "zero_uncaught_exceptions": True,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    print(
+        f"  1% faults: {sweep['rates'][str(HEADLINE_RATE)]['aggregate_mpps']} Mpps "
+        f"(baseline {sweep['baseline_mpps']}), accounting balanced everywhere"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

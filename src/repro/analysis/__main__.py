@@ -137,6 +137,13 @@ def main(argv=None) -> int:
         "'auto' = CPU count)",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="serial retries for failed subtasks before giving up "
+        "(default 1; successes are cached either way, failures never)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="recompute every point, bypassing the on-disk result cache",
@@ -177,7 +184,8 @@ def main(argv=None) -> int:
         exp_names.extend(EXPAND.get(name, (name,)))
     start = time.time()
     results = run_experiments(
-        exp_names, n_packets=args.packets, jobs=args.jobs, cache=cache
+        exp_names, n_packets=args.packets, jobs=args.jobs, cache=cache,
+        retries=args.retries,
     )
     for i, name in enumerate(selected):
         if i:

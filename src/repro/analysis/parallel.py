@@ -33,6 +33,7 @@ import multiprocessing
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -314,6 +315,25 @@ def _run_subtask(spec: Subtask) -> Any:
     return TASK_FNS[fn_name](**kwargs)
 
 
+class SubtaskError(RuntimeError):
+    """One or more subtasks failed after exhausting their retries.
+
+    ``failures`` holds ``(fn_name, kwargs, exception)`` triples; results
+    of subtasks that *did* succeed were already cached, so a rerun only
+    recomputes the failed points.
+    """
+
+    def __init__(self, failures: Sequence[Tuple[str, Dict[str, Any], BaseException]]):
+        self.failures = list(failures)
+        lines = ", ".join(
+            f"{fn}({kwargs!r}): {type(exc).__name__}: {exc}"
+            for fn, kwargs, exc in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} subtask(s) failed after retries: {lines}"
+        )
+
+
 def resolve_jobs(jobs: Union[int, str, None]) -> int:
     """``--jobs`` value -> worker count (``"auto"`` = CPU count)."""
     if jobs in (None, "auto"):
@@ -329,13 +349,27 @@ def run_experiments(
     n_packets: int = 2000,
     jobs: Union[int, str, None] = 1,
     cache: Optional[ResultCache] = None,
+    retries: int = 1,
+    backoff_s: float = 0.1,
 ) -> "Dict[str, Any]":
     """Run the named experiments, fanned out and cached.
 
     Returns ``{experiment name: result}`` with results identical
     (bit-for-bit, same container types and orderings) to calling the
     serial experiment functions directly.
+
+    Failure handling: each subtask is dispatched and collected
+    independently, so one raising subtask cannot poison its siblings —
+    every *successful* result is cached the moment it lands, and a
+    failed subtask is **never** written to the cache.  Failures are
+    retried serially up to ``retries`` times with exponential backoff
+    (``backoff_s * 2**attempt``); whatever still fails is raised as one
+    aggregate :class:`SubtaskError`.
     """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if backoff_s < 0:
+        raise ValueError("backoff_s must be non-negative")
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         raise ValueError(f"unknown experiments: {unknown}")
@@ -359,16 +393,53 @@ def run_experiments(
         pending.append((i, spec))
 
     if pending:
-        specs = [spec for _, spec in pending]
-        if n_jobs > 1 and len(specs) > 1:
-            with multiprocessing.Pool(processes=min(n_jobs, len(specs))) as pool:
-                computed = pool.map(_run_subtask, specs)
-        else:
-            computed = [_run_subtask(spec) for spec in specs]
-        for (i, _), value in zip(pending, computed):
+
+        def record(i: int, value: Any) -> None:
             outputs[i] = value
             if cache is not None:
                 cache.put(plan[i][2], value)
+
+        failures: List[Tuple[int, Subtask, BaseException]] = []
+        if n_jobs > 1 and len(pending) > 1:
+            with multiprocessing.Pool(processes=min(n_jobs, len(pending))) as pool:
+                handles = [
+                    (i, spec, pool.apply_async(_run_subtask, (spec,)))
+                    for i, spec in pending
+                ]
+                # Collect per subtask: a raising sibling must not lose
+                # (or un-cache) anyone else's finished work.
+                for i, spec, handle in handles:
+                    try:
+                        record(i, handle.get())
+                    except Exception as exc:
+                        failures.append((i, spec, exc))
+        else:
+            for i, spec in pending:
+                try:
+                    record(i, _run_subtask(spec))
+                except Exception as exc:
+                    failures.append((i, spec, exc))
+
+        # Bounded serial retry with exponential backoff: transient
+        # failures (OOM-killed worker, flaky I/O) get another shot in
+        # the parent; deterministic failures surface unchanged.
+        for attempt in range(retries):
+            if not failures:
+                break
+            if backoff_s:
+                time.sleep(backoff_s * (2 ** attempt))
+            remaining: List[Tuple[int, Subtask, BaseException]] = []
+            for i, spec, _ in failures:
+                try:
+                    record(i, _run_subtask(spec))
+                except Exception as exc:
+                    remaining.append((i, spec, exc))
+            failures = remaining
+
+        if failures:
+            raise SubtaskError(
+                [(spec[0], spec[1], exc) for _, spec, exc in failures]
+            )
 
     # Fold ordered partials back per experiment.
     for name in names:

@@ -34,7 +34,16 @@ KeyLike = Union[int, bytes]
 
 def _to_int(key: KeyLike) -> int:
     if isinstance(key, bytes):
-        return int.from_bytes(key, "little")
+        if len(key) <= 8:
+            return int.from_bytes(key, "little")
+        # Fold longer keys 8 bytes at a time: a bare from_bytes would be
+        # truncated to 64 bits downstream, making e.g. b"backend-0" and
+        # b"backend-1" (which differ only in the 9th byte) collide.
+        x = 0
+        for i in range(0, len(key), 8):
+            chunk = int.from_bytes(key[i : i + 8], "little")
+            x = ((x * 0x100000001B3) ^ chunk) & M64
+        return x
     return key & M64 if key >= 0 else (key & M64)
 
 

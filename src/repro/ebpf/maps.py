@@ -11,10 +11,19 @@ boundary.
 
 Implemented map types mirror the ones the surveyed NFs use:
 
-- :class:`BpfHashMap`     (``BPF_MAP_TYPE_HASH``)
-- :class:`BpfArrayMap`    (``BPF_MAP_TYPE_ARRAY``)
-- :class:`BpfPercpuArray` (``BPF_MAP_TYPE_PERCPU_ARRAY``)
-- :class:`BpfLruHashMap`  (``BPF_MAP_TYPE_LRU_HASH``)
+- :class:`BpfHashMap`          (``BPF_MAP_TYPE_HASH``)
+- :class:`BpfArrayMap`         (``BPF_MAP_TYPE_ARRAY``)
+- :class:`BpfPercpuArray`      (``BPF_MAP_TYPE_PERCPU_ARRAY``)
+- :class:`BpfLruHashMap`       (``BPF_MAP_TYPE_LRU_HASH``)
+- :class:`BpfPercpuHashMap`    (``BPF_MAP_TYPE_PERCPU_HASH``)
+- :class:`BpfLruPercpuHashMap` (``BPF_MAP_TYPE_LRU_PERCPU_HASH``)
+
+Hash-type map updates can fail in the real kernel — ``-E2BIG`` when the
+map is full, ``-ENOMEM`` when element allocation fails — and both
+surface here as :class:`MapFullError` / :class:`MapNoMemError`.  When a
+:class:`~repro.faults.FaultInjector` is attached to the owning runtime
+(``rt.faults``), updates additionally fail on the injector's schedule,
+which is how the chaos harness exercises NF degradation paths.
 """
 
 from __future__ import annotations
@@ -28,6 +37,18 @@ from .runtime import BpfRuntime
 
 class MapFullError(RuntimeError):
     """Raised when an update would exceed ``max_entries`` (-E2BIG)."""
+
+    errno = -7
+
+
+class MapNoMemError(RuntimeError):
+    """Raised when a map-element allocation fails (-ENOMEM).
+
+    Only ever raised via fault injection: the simulator has no real
+    allocator to exhaust, but NFs must survive the error regardless.
+    """
+
+    errno = -12
 
 
 class BpfMap:
@@ -49,6 +70,20 @@ class BpfMap:
     def _charge_delete(self, category: Category) -> None:
         self.rt.charge(self.rt.costs.map_delete, category)
 
+    def _maybe_inject_update_fault(self) -> None:
+        """Fail this update if the runtime's fault injector says so.
+
+        Called by hash-type maps only (array maps are preallocated, so
+        their updates cannot fail with E2BIG/ENOMEM).  The helper cost
+        was already charged — a failing ``bpf_map_update_elem`` still
+        executes before returning its error code.
+        """
+        injector = self.rt.faults
+        if injector is not None:
+            exc = injector.map_update_fault(self.name)
+            if exc is not None:
+                raise exc
+
 
 class BpfHashMap(BpfMap):
     """``BPF_MAP_TYPE_HASH``: helper-accessed hash table."""
@@ -63,6 +98,7 @@ class BpfHashMap(BpfMap):
 
     def update(self, key: Any, value: Any, category: Category = Category.OTHER) -> None:
         self._charge_update(category)
+        self._maybe_inject_update_fault()
         if key not in self._store and len(self._store) >= self.max_entries:
             raise MapFullError(f"{self.name}: map full ({self.max_entries} entries)")
         self._store[key] = value
@@ -193,6 +229,7 @@ class BpfLruHashMap(BpfMap):
     def __init__(self, rt: BpfRuntime, max_entries: int, name: str = "") -> None:
         super().__init__(rt, max_entries, name)
         self._store: "OrderedDict[Any, Any]" = OrderedDict()
+        self.evictions = 0
 
     def lookup(self, key: Any, category: Category = Category.OTHER) -> Optional[Any]:
         self._charge_lookup(category)
@@ -203,10 +240,12 @@ class BpfLruHashMap(BpfMap):
 
     def update(self, key: Any, value: Any, category: Category = Category.OTHER) -> None:
         self._charge_update(category)
+        self._maybe_inject_update_fault()
         if key in self._store:
             self._store.move_to_end(key)
         elif len(self._store) >= self.max_entries:
             self._store.popitem(last=False)
+            self.evictions += 1
         self._store[key] = value
 
     def delete(self, key: Any, category: Category = Category.OTHER) -> bool:
@@ -218,6 +257,123 @@ class BpfLruHashMap(BpfMap):
 
     def __contains__(self, key: Any) -> bool:
         return key in self._store
+
+
+class BpfPercpuHashMap(BpfMap):
+    """``BPF_MAP_TYPE_PERCPU_HASH``: one key space, per-CPU values.
+
+    As in the kernel: ``max_entries`` bounds the number of *keys* (the
+    key space is shared), while each key's value is a per-CPU slot —
+    the local CPU reads and writes its own slice without touching the
+    others.  Updates on a full map fail with ``-E2BIG`` exactly like
+    :class:`BpfHashMap`.
+    """
+
+    def __init__(
+        self,
+        rt: BpfRuntime,
+        max_entries: int,
+        n_cpus: int = 1,
+        name: str = "",
+    ) -> None:
+        super().__init__(rt, max_entries, name)
+        if n_cpus <= 0:
+            raise ValueError("n_cpus must be positive")
+        self.n_cpus = n_cpus
+        self._store: Dict[Any, List[Any]] = {}
+
+    def _check_cpu(self, cpu: int) -> None:
+        if not 0 <= cpu < self.n_cpus:
+            raise IndexError(f"{self.name}: cpu {cpu} out of range")
+
+    def lookup(
+        self, key: Any, cpu: int = 0, category: Category = Category.OTHER
+    ) -> Optional[Any]:
+        self._charge_lookup(category)
+        self._check_cpu(cpu)
+        slots = self._store.get(key)
+        return None if slots is None else slots[cpu]
+
+    def update(
+        self, key: Any, value: Any, cpu: int = 0,
+        category: Category = Category.OTHER,
+    ) -> None:
+        self._charge_update(category)
+        self._check_cpu(cpu)
+        self._maybe_inject_update_fault()
+        slots = self._store.get(key)
+        if slots is None:
+            if len(self._store) >= self.max_entries:
+                raise MapFullError(
+                    f"{self.name}: map full ({self.max_entries} entries)"
+                )
+            slots = [None] * self.n_cpus
+            self._store[key] = slots
+        slots[cpu] = value
+
+    def delete(self, key: Any, category: Category = Category.OTHER) -> bool:
+        self._charge_delete(category)
+        return self._store.pop(key, _MISSING) is not _MISSING
+
+    def values_of(self, key: Any) -> Optional[List[Any]]:
+        """All CPUs' slots for ``key`` (control-plane aggregation)."""
+        slots = self._store.get(key)
+        return None if slots is None else list(slots)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._store
+
+
+class BpfLruPercpuHashMap(BpfPercpuHashMap):
+    """``BPF_MAP_TYPE_LRU_PERCPU_HASH``: per-CPU values, LRU keys.
+
+    Overflowing inserts evict the least-recently-used *key* (all of its
+    per-CPU slots) instead of failing — the kernel's shared-LRU-list
+    approximation.  Lookups refresh recency.
+    """
+
+    def __init__(
+        self,
+        rt: BpfRuntime,
+        max_entries: int,
+        n_cpus: int = 1,
+        name: str = "",
+    ) -> None:
+        super().__init__(rt, max_entries, n_cpus, name)
+        self._store: "OrderedDict[Any, List[Any]]" = OrderedDict()
+        self.evictions = 0
+
+    def lookup(
+        self, key: Any, cpu: int = 0, category: Category = Category.OTHER
+    ) -> Optional[Any]:
+        self._charge_lookup(category)
+        self._check_cpu(cpu)
+        slots = self._store.get(key)
+        if slots is None:
+            return None
+        self._store.move_to_end(key)
+        return slots[cpu]
+
+    def update(
+        self, key: Any, value: Any, cpu: int = 0,
+        category: Category = Category.OTHER,
+    ) -> None:
+        self._charge_update(category)
+        self._check_cpu(cpu)
+        self._maybe_inject_update_fault()
+        slots = self._store.get(key)
+        if slots is None:
+            if len(self._store) >= self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+            slots = [None] * self.n_cpus
+            self._store[key] = slots
+        else:
+            self._store.move_to_end(key)
+        slots[cpu] = value
 
 
 _MISSING = object()

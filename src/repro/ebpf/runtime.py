@@ -35,6 +35,11 @@ class BpfRuntime:
         self.cycles = Cycles()
         self._prng = random.Random(seed)
         self._ktime_ns = 0
+        #: Optional :class:`repro.faults.FaultInjector` — when set, the
+        #: simulated maps fail updates on its schedule (E2BIG/ENOMEM),
+        #: mirroring how real helper calls return error codes.  Duck
+        #: typed to keep repro.ebpf free of a repro.faults import.
+        self.faults = None
 
     # -- generic charging -------------------------------------------------
 

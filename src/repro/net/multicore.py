@@ -45,6 +45,24 @@ Three extensions on top of the PR 1 data plane:
   penalty, surfaced as ``numa_cycles`` on :class:`MulticoreResult` and
   folded into aggregate PPS/wall-clock/imbalance (NF cycle totals stay
   bit-identical; the penalty is reported separately).
+
+And the PR 3 resilience layer:
+
+- **Fault injection** (:mod:`repro.faults`): pass a
+  :class:`~repro.faults.FaultPlan` and every core gets its own
+  seed-decorrelated :class:`~repro.faults.FaultInjector` — packet
+  faults, helper errors, and map-update failures fire deterministically
+  inside each core's pipeline.
+- **Per-core watchdog**: a plan may crash one core (worker death,
+  detected immediately) or wedge it (the core stops consuming; the
+  watchdog fires after ``watchdog_deadline`` packets pile up dead).
+  Either way the victim's traffic is re-steered onto surviving cores
+  by a deterministic flow-affine failover hash, and the recovery is
+  reported as :class:`CoreFailure` records on the result.
+- **Full accounting**: every packet offered to the fleet ends in
+  exactly one bucket — forwarded, dropped (NF verdicts + watchdog
+  losses), or aborted — checked by
+  :attr:`MulticoreResult.is_fully_accounted`.
 """
 
 from __future__ import annotations
@@ -56,15 +74,56 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 from ..core.algorithms.hashing import fast_hash32
 from ..ebpf.cost_model import CPU_HZ, Category, NumaTopology
 from ..ebpf.percpu import or_words, sum_counts, sum_matrices
-from .packet import Packet
+from ..faults import PKT_DUP, FaultInjector, FaultPlan
+from .packet import Packet, XdpAction
 from .steering import RSS_HASH_SEED, RssSteering, SteeringPolicy, make_policy
 from .xdp import (
     DEFAULT_BATCH_SIZE,
+    FORWARD_ACTIONS,
     NetworkFunction,
     PipelineResult,
     ReplaySession,
     XdpPipeline,
 )
+
+#: Hash seed of the failover re-steer (distinct from every RSS seed so
+#: a dead core's flows spread evenly over the survivors).
+FAILOVER_SEED = 0xFA110FF
+
+#: Packets that may pile up on a wedged core before the watchdog
+#: declares it dead (the "deadline exceeded" detector).
+DEFAULT_WATCHDOG_DEADLINE = 1024
+
+
+class AllCoresDeadError(RuntimeError):
+    """Every core failed — there is nowhere left to re-steer traffic."""
+
+
+@dataclass
+class CoreFailure:
+    """One watchdog event: a core died and its traffic was re-steered.
+
+    ``processed`` is how many packets the core completed before the
+    fault; ``lost`` counts packets that sat in its queue and were never
+    processed (wedge only — a crash is detected immediately, so nothing
+    queues behind it); ``resteered`` counts packets redirected to
+    surviving cores after detection.
+    """
+
+    core: int
+    kind: str                     # "crash" | "wedge"
+    processed: int = 0
+    lost: int = 0
+    resteered: int = 0
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "core": self.core,
+            "kind": self.kind,
+            "processed": self.processed,
+            "lost": self.lost,
+            "resteered": self.resteered,
+        }
 
 
 def rss_queue(packet: Packet, n_cores: int, hash_seed: int = RSS_HASH_SEED) -> int:
@@ -102,6 +161,14 @@ class MulticoreResult:
     actions: Dict[str, int] = field(default_factory=dict)
     #: Per-core cross-NUMA-node penalty cycles (empty: single node).
     numa_cycles: List[int] = field(default_factory=list)
+    #: Packets offered to the fleet (before dup/loss).
+    packets_in: int = 0
+    #: Packets lost behind failed cores (watchdog accounting).
+    lost: int = 0
+    #: Watchdog events, in detection order.
+    failures: List[CoreFailure] = field(default_factory=list)
+    #: Fleet-wide injected-fault counts by kind (empty: no fault plan).
+    injected: Dict[str, int] = field(default_factory=dict)
 
     @property
     def n_cores(self) -> int:
@@ -110,6 +177,60 @@ class MulticoreResult:
     @property
     def n_packets(self) -> int:
         return sum(r.n_packets for r in self.per_core)
+
+    # -- resilience accounting ------------------------------------------
+
+    @property
+    def forwarded(self) -> int:
+        return sum(self.actions.get(a, 0) for a in FORWARD_ACTIONS)
+
+    @property
+    def dropped(self) -> int:
+        """NF drop verdicts plus packets lost behind failed cores."""
+        return self.actions.get(XdpAction.DROP, 0) + self.lost
+
+    @property
+    def aborted(self) -> int:
+        return self.actions.get(XdpAction.ABORTED, 0)
+
+    @property
+    def duplicated(self) -> int:
+        """Extra packet copies injected by ``pkt_dup`` faults."""
+        return self.injected.get(PKT_DUP, 0)
+
+    @property
+    def errors(self) -> Dict[str, int]:
+        """Per-error-kind counts summed across cores."""
+        return sum_counts([r.errors for r in self.per_core])
+
+    @property
+    def n_errors(self) -> int:
+        return sum(self.errors.values())
+
+    @property
+    def is_fully_accounted(self) -> bool:
+        """Every offered packet ended in exactly one verdict bucket.
+
+        The invariant: ``packets_in + duplicated ==
+        forwarded + dropped + aborted`` (``dropped`` includes watchdog
+        losses).  Holds whenever the dispatcher ran with accounting
+        (``packets_in > 0`` or an empty trace).
+        """
+        return (
+            self.packets_in + self.duplicated
+            == self.forwarded + self.dropped + self.aborted
+        )
+
+    def accounting(self) -> Dict[str, int]:
+        """The accounting ledger as a plain dict (chaos report / bench)."""
+        return {
+            "packets_in": self.packets_in,
+            "duplicated": self.duplicated,
+            "forwarded": self.forwarded,
+            "dropped": self.dropped,
+            "aborted": self.aborted,
+            "lost": self.lost,
+        }
 
     @property
     def total_cycles(self) -> int:
@@ -248,6 +369,14 @@ class RssDispatcher:
     for plain RSS with ``hash_seed``.  ``numa`` attaches a
     :class:`NumaTopology` whose cross-node packet penalties are folded
     into the result's wall-clock metrics.
+
+    ``faults`` attaches a :class:`~repro.faults.FaultPlan`: each core's
+    pipeline gets its own seed-decorrelated injector, and the plan's
+    ``crash_core``/``wedge_core`` drive the watchdog — a crashed core is
+    detected immediately (worker death) and its remaining traffic
+    re-steered to survivors; a wedged core silently eats packets until
+    ``watchdog_deadline`` of them are lost, then it too is declared dead
+    and re-steered around.
     """
 
     def __init__(
@@ -258,9 +387,13 @@ class RssDispatcher:
         charge_framework: bool = True,
         steering: Union[str, SteeringPolicy, None] = None,
         numa: Optional[NumaTopology] = None,
+        faults: Optional[FaultPlan] = None,
+        watchdog_deadline: int = DEFAULT_WATCHDOG_DEADLINE,
     ) -> None:
         if n_cores <= 0:
             raise ValueError("n_cores must be positive")
+        if watchdog_deadline <= 0:
+            raise ValueError("watchdog_deadline must be positive")
         self.n_cores = n_cores
         self.hash_seed = hash_seed
         if steering is None:
@@ -274,6 +407,8 @@ class RssDispatcher:
             )
         self.steering = steering
         self.numa = numa
+        self.faults = faults
+        self.watchdog_deadline = watchdog_deadline
         self.nfs: List[NetworkFunction] = [
             nf_factory(core) for core in range(n_cores)
         ]
@@ -283,8 +418,15 @@ class RssDispatcher:
                 "nf_factory must build one private BpfRuntime per core "
                 "(per-CPU eBPF state is never shared across cores)"
             )
+        self.injectors: List[Optional[FaultInjector]] = [
+            faults.injector(core) if faults is not None else None
+            for core in range(n_cores)
+        ]
         self.pipelines: List[XdpPipeline] = [
-            XdpPipeline(nf, charge_framework=charge_framework) for nf in self.nfs
+            XdpPipeline(
+                nf, charge_framework=charge_framework, faults=injector
+            )
+            for nf, injector in zip(self.nfs, self.injectors)
         ]
 
     def queue_of(self, packet: Packet) -> int:
@@ -315,6 +457,11 @@ class RssDispatcher:
         ``use_batch`` selects the batched replay path (cycle-identical
         to per-packet, just faster); disable it for NFs that need
         per-packet clock advance.
+
+        When the fault plan names a ``crash_core``/``wedge_core``, the
+        watchdog path engages: the victim's traffic is re-steered onto
+        surviving cores after detection, and the result carries
+        :class:`CoreFailure` records plus full packet accounting.
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -332,16 +479,133 @@ class RssDispatcher:
         ]
         buffers: List[List[Packet]] = [[] for _ in range(self.n_cores)]
         queue_of = policy.queue_of
-        for pkt in stream:
-            queue = queue_of(pkt)
-            buf = buffers[queue]
-            buf.append(pkt)
-            if len(buf) == batch_size:
-                sessions[queue].feed(buf)
+        n_cores = self.n_cores
+        plan = self.faults
+        crash_at: Dict[int, int] = {}
+        wedge_at: Dict[int, int] = {}
+        if plan is not None:
+            for core in range(n_cores):
+                point = plan.crash_point(core)
+                if point is not None:
+                    crash_at[core] = point
+                point = plan.wedge_point(core)
+                if point is not None:
+                    wedge_at[core] = point
+        packets_in = 0
+        lost = [0] * n_cores
+        failures: List[CoreFailure] = []
+
+        if not crash_at and not wedge_at:
+            # Healthy fleet: the original streaming loop, untouched.
+            for pkt in stream:
+                packets_in += 1
+                queue = queue_of(pkt)
+                buf = buffers[queue]
+                buf.append(pkt)
+                if len(buf) == batch_size:
+                    sessions[queue].feed(buf)
+                    buffers[queue] = []
+            for queue, buf in enumerate(buffers):
+                if buf:
+                    sessions[queue].feed(buf)
+        else:
+            # Watchdog path: same steering and batch boundaries until a
+            # core fails, then its traffic re-steers to the survivors.
+            alive = [True] * n_cores
+            wedged = [False] * n_cores
+            fed = [0] * n_cores
+            failure_of: Dict[int, CoreFailure] = {}
+            deadline = self.watchdog_deadline
+
+            def declare_dead(queue: int, kind: str) -> None:
+                alive[queue] = False
+                record = CoreFailure(
+                    core=queue, kind=kind,
+                    processed=fed[queue], lost=lost[queue],
+                )
+                failures.append(record)
+                failure_of[queue] = record
+
+            def failover_queue(key: int) -> int:
+                survivors = [c for c in range(n_cores) if alive[c]]
+                if not survivors:
+                    raise AllCoresDeadError(
+                        "every core has failed; traffic has nowhere to go"
+                    )
+                return survivors[fast_hash32(key, FAILOVER_SEED) % len(survivors)]
+
+            def enqueue(pkt: Packet) -> None:
+                queue = queue_of(pkt)
+                if not alive[queue]:
+                    record = failure_of.get(queue)
+                    if record is not None:
+                        record.resteered += 1
+                    queue = failover_queue(pkt.key_int)
+                buf = buffers[queue]
+                buf.append(pkt)
+                if len(buf) == batch_size:
+                    flush(queue)
+
+            def flush(queue: int) -> None:
+                buf = buffers[queue]
+                if not buf:
+                    return
                 buffers[queue] = []
-        for queue, buf in enumerate(buffers):
-            if buf:
+                if wedged[queue]:
+                    # Wedged core: packets pile up unprocessed.  Once
+                    # the pile crosses the deadline, the watchdog fires.
+                    lost[queue] += len(buf)
+                    if alive[queue] and lost[queue] >= deadline:
+                        declare_dead(queue, "wedge")
+                    return
+                point = crash_at.get(queue)
+                if point is not None and fed[queue] + len(buf) > point:
+                    split = point - fed[queue]
+                    head, rest = buf[:split], buf[split:]
+                    if head:
+                        sessions[queue].feed(head)
+                        fed[queue] += len(head)
+                    del crash_at[queue]
+                    # Worker death is observed immediately; nothing is
+                    # lost — the rest of the batch re-steers right away.
+                    declare_dead(queue, "crash")
+                    for pkt in rest:
+                        enqueue(pkt)
+                    return
+                point = wedge_at.get(queue)
+                if point is not None and fed[queue] + len(buf) > point:
+                    split = point - fed[queue]
+                    head, tail = buf[:split], buf[split:]
+                    if head:
+                        sessions[queue].feed(head)
+                        fed[queue] += len(head)
+                    del wedge_at[queue]
+                    wedged[queue] = True
+                    lost[queue] += len(tail)
+                    if lost[queue] >= deadline:
+                        declare_dead(queue, "wedge")
+                    return
                 sessions[queue].feed(buf)
+                fed[queue] += len(buf)
+
+            for pkt in stream:
+                packets_in += 1
+                enqueue(pkt)
+            # Drain: re-steered packets may refill other buffers, so
+            # keep flushing until every buffer is empty.
+            pending = True
+            while pending:
+                pending = False
+                for queue in range(n_cores):
+                    if buffers[queue]:
+                        flush(queue)
+                        pending = True
+            # A wedge that never hit the deadline is still dead at end
+            # of stream — teardown notices and accounts for it.
+            for queue in range(n_cores):
+                if wedged[queue] and alive[queue]:
+                    declare_dead(queue, "wedge")
+
         per_core = [session.finish() for session in sessions]
         actions = sum_counts([r.actions for r in per_core])
         numa_cycles: List[int] = []
@@ -351,8 +615,21 @@ class RssDispatcher:
                 * result.n_packets
                 for core, result in enumerate(per_core)
             ]
+        injected: Dict[str, int] = {}
+        if plan is not None:
+            injected = dict(sum_counts([
+                dict(injector.injected)
+                for injector in self.injectors
+                if injector is not None
+            ]))
         return MulticoreResult(
-            per_core=per_core, actions=actions, numa_cycles=numa_cycles
+            per_core=per_core,
+            actions=actions,
+            numa_cycles=numa_cycles,
+            packets_in=packets_in,
+            lost=sum(lost),
+            failures=failures,
+            injected=injected,
         )
 
 

@@ -96,6 +96,24 @@ def _render(result: MulticoreResult, args) -> str:
     return "\n".join(lines)
 
 
+def _positive_int(value: str) -> int:
+    """argparse type: a strictly positive integer, clearly rejected.
+
+    Keeps bad values (``--cores 0``, ``--numa-nodes -3``) from being
+    silently accepted or surfacing later as a traceback: argparse turns
+    the ArgumentTypeError into a one-line usage error and exit code 2.
+    """
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer")
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}"
+        )
+    return parsed
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.net.replay",
@@ -117,14 +135,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=[m.value for m in ExecMode],
         default=ExecMode.ENETSTL.value,
     )
-    parser.add_argument("--cores", type=int, default=8)
+    parser.add_argument("--cores", type=_positive_int, default=8)
     parser.add_argument(
         "--policy", choices=sorted(POLICIES), default="rss",
         help="steering policy (default: plain RSS)",
     )
-    parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE)
     parser.add_argument(
-        "--numa-nodes", type=int, default=1,
+        "--batch-size", type=_positive_int, default=DEFAULT_BATCH_SIZE
+    )
+    parser.add_argument(
+        "--numa-nodes", type=_positive_int, default=1,
         help="NUMA nodes to spread the cores over (default 1: no penalty)",
     )
     args = parser.parse_args(argv)

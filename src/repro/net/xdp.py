@@ -24,6 +24,17 @@ incrementally (``feed`` batches as they arrive, ``finish`` for the
 result), which is how the streaming multi-queue dispatcher drives one
 pipeline per core off a single shared packet stream.
 
+**Fault containment** mirrors the eBPF runtime's safety guarantee (an
+XDP program cannot crash the kernel): an NF exception on one packet
+becomes an ``XDP_ABORTED`` verdict plus an entry in the pipeline's
+per-CPU error counter — the simulated ``xdp_exception`` tracepoint —
+and the replay continues.  Attach a
+:class:`~repro.faults.FaultInjector` to inject packet-level faults
+(drop / corruption / truncation / duplication), helper error returns,
+and map-update failures on a deterministic, seed-driven schedule; both
+replay paths see the identical fault sequence.  Pass
+``on_error="raise"`` to restore fail-fast propagation for debugging.
+
 Multi-queue (RSS) replay lives in :mod:`repro.net.multicore`.
 """
 
@@ -32,7 +43,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Dict, Iterable, Iterator, List, Protocol, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Protocol, Sequence
 
 from ..ebpf.cost_model import (
     CPU_HZ,
@@ -42,6 +53,7 @@ from ..ebpf.cost_model import (
     throughput_pps,
 )
 from ..ebpf.runtime import BpfRuntime
+from ..faults import FaultInjector, PKT_CORRUPT, PKT_DROP, PKT_DUP, PKT_TRUNCATE
 from .packet import Packet, XdpAction
 from .stats import percentile
 
@@ -54,6 +66,16 @@ BASE_WIRE_LATENCY_NS = 11_000
 DEFAULT_BATCH_SIZE = 256
 
 _VALID_ACTIONS = frozenset(XdpAction.ALL)
+
+#: Injected faults that make the packet unparseable (-> XDP_ABORTED).
+_PARSE_FAULTS = frozenset((PKT_CORRUPT, PKT_TRUNCATE))
+
+#: Error-counter keys for injected parse / helper faults.
+PARSE_ERROR = "parse_error"
+HELPER_ERROR = "helper_error"
+
+#: XDP verdicts that forward the packet onward.
+FORWARD_ACTIONS = (XdpAction.PASS, XdpAction.TX, XdpAction.REDIRECT)
 
 
 class NetworkFunction(Protocol):
@@ -75,13 +97,39 @@ class NetworkFunction(Protocol):
 
 @dataclass
 class PipelineResult:
-    """Aggregate measurements from one trace replay."""
+    """Aggregate measurements from one trace replay.
+
+    ``errors`` is the core's per-CPU error counter — one bucket per
+    exception type (or injected-fault tag) that aborted a packet,
+    mirroring the kernel's ``xdp_exception`` tracepoint statistics.
+    Every replayed packet lands in exactly one verdict, so
+    ``n_packets == forwarded + dropped + aborted`` always holds.
+    """
 
     n_packets: int
     total_cycles: int
     actions: Dict[str, int]
     by_category: Dict[Category, int]
     latencies_ns: List[int] = field(default_factory=list)
+    errors: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def forwarded(self) -> int:
+        """Packets forwarded onward (PASS + TX + REDIRECT)."""
+        return sum(self.actions.get(a, 0) for a in FORWARD_ACTIONS)
+
+    @property
+    def dropped(self) -> int:
+        return self.actions.get(XdpAction.DROP, 0)
+
+    @property
+    def aborted(self) -> int:
+        """Packets that hit a program error (the aborted tracepoint)."""
+        return self.actions.get(XdpAction.ABORTED, 0)
+
+    @property
+    def n_errors(self) -> int:
+        return sum(self.errors.values())
 
     @property
     def cycles_per_packet(self) -> float:
@@ -158,12 +206,35 @@ class PipelineResult:
 
 
 class XdpPipeline:
-    """Replay traces through one NF on one simulated core."""
+    """Replay traces through one NF on one simulated core.
 
-    def __init__(self, nf: NetworkFunction, charge_framework: bool = True) -> None:
+    ``faults`` attaches a :class:`~repro.faults.FaultInjector`: the
+    pipeline consults it per packet (drop / parse faults / duplication
+    / helper errors) and also installs it on the NF's runtime so map
+    updates fail on the same schedule.  ``on_error`` selects what an NF
+    exception does: ``"abort"`` (default) converts it to an
+    ``XDP_ABORTED`` verdict plus an error-counter entry — the replay
+    survives, as a real XDP program would — while ``"raise"``
+    propagates it (fail-fast debugging).
+    """
+
+    def __init__(
+        self,
+        nf: NetworkFunction,
+        charge_framework: bool = True,
+        faults: Optional[FaultInjector] = None,
+        on_error: str = "abort",
+    ) -> None:
+        if on_error not in ("abort", "raise"):
+            raise ValueError("on_error must be 'abort' or 'raise'")
         self.nf = nf
         self.rt = nf.rt
         self.charge_framework = charge_framework
+        self.faults = faults
+        self.on_error = on_error
+        if faults is not None:
+            # Same injector drives map-update failures inside the NF.
+            self.rt.faults = faults
 
     def run(
         self,
@@ -184,7 +255,10 @@ class XdpPipeline:
         charge_framework = self.charge_framework
         framework_cat = Category.FRAMEWORK
         parse_cat = Category.PARSE
+        faults = self.faults
+        contain = self.on_error == "abort"
         actions: Counter = Counter()
+        errors: Counter = Counter()
         latencies: List[int] = []
         start = cycles.checkpoint()
         n = 0
@@ -192,19 +266,59 @@ class XdpPipeline:
             ts = pkt.timestamp_ns
             if advance_clock and ts > rt.now_ns:
                 rt.advance_time_ns(ts - rt.now_ns)
-            before = cycles.total
-            if charge_framework:
-                charge(dispatch_cost, framework_cat)
-                charge(parse_cost, parse_cat)
-            action = nf_process(pkt)
-            if action not in _VALID_ACTIONS:
-                raise ValueError(f"NF returned invalid XDP action {action!r}")
-            actions[action] += 1
-            if measure_latency:
-                proc_ns = int((cycles.total - before) * 1e9 / CPU_HZ)
-                # Sender -> NF -> back to sender: two wire crossings.
-                latencies.append(2 * BASE_WIRE_LATENCY_NS + proc_ns)
-            n += 1
+            copies = 1
+            if faults is not None:
+                pf = faults.packet_fault()
+                helper = faults.helper_fault()
+                if pf == PKT_DROP:
+                    # Lost before the XDP hook (NIC/ring drop): no
+                    # cycles are spent, but the packet is accounted.
+                    actions[XdpAction.DROP] += 1
+                    n += 1
+                    continue
+                if pf in _PARSE_FAULTS or helper:
+                    # Unparseable frame or failed helper: the program
+                    # bails out -> XDP_ABORTED after dispatch + parse.
+                    before = cycles.total
+                    if charge_framework:
+                        charge(dispatch_cost, framework_cat)
+                        charge(parse_cost, parse_cat)
+                    actions[XdpAction.ABORTED] += 1
+                    errors[
+                        PARSE_ERROR if pf in _PARSE_FAULTS else HELPER_ERROR
+                    ] += 1
+                    if measure_latency:
+                        proc_ns = int((cycles.total - before) * 1e9 / CPU_HZ)
+                        latencies.append(2 * BASE_WIRE_LATENCY_NS + proc_ns)
+                    n += 1
+                    continue
+                if pf == PKT_DUP:
+                    copies = 2
+            while copies:
+                copies -= 1
+                before = cycles.total
+                if charge_framework:
+                    charge(dispatch_cost, framework_cat)
+                    charge(parse_cost, parse_cat)
+                try:
+                    action = nf_process(pkt)
+                except Exception as exc:
+                    if not contain:
+                        raise
+                    # Fault containment: one bad packet aborts, the
+                    # replay continues (the eBPF safety guarantee).
+                    action = XdpAction.ABORTED
+                    errors[type(exc).__name__] += 1
+                if action not in _VALID_ACTIONS:
+                    raise ValueError(
+                        f"NF returned invalid XDP action {action!r}"
+                    )
+                actions[action] += 1
+                if measure_latency:
+                    proc_ns = int((cycles.total - before) * 1e9 / CPU_HZ)
+                    # Sender -> NF -> back to sender: two wire crossings.
+                    latencies.append(2 * BASE_WIRE_LATENCY_NS + proc_ns)
+                n += 1
         delta = cycles.delta_since(start)
         return PipelineResult(
             n_packets=n,
@@ -212,15 +326,17 @@ class XdpPipeline:
             actions=dict(actions),
             by_category=delta.by_category,
             latencies_ns=latencies,
+            errors=dict(errors),
         )
 
     def _replay_batch(
         self,
         batch: Sequence[Packet],
         actions: Counter,
+        errors: Counter,
         advance_clock: bool,
         use_batch: bool = True,
-    ) -> None:
+    ) -> int:
         """Charge and process one batch (the shared batched-replay core).
 
         Framework costs (XDP dispatch + parse) are charged in bulk —
@@ -229,8 +345,58 @@ class XdpPipeline:
         ``process_batch``, the whole batch is handed over in one call;
         otherwise ``process`` runs per packet with per-packet clock
         advance, exactly as :meth:`run`.
+
+        With a fault injector attached, the batch is pre-screened with
+        the same per-packet fault draws :meth:`run` makes (so both
+        paths see the identical schedule): dropped packets are verdicts
+        without charges, parse/helper faults abort after dispatch +
+        parse, duplicates replay twice.  An exception from
+        ``process_batch`` aborts the *whole* batch (its charges and
+        partial state mutations stand, as a crashed program's would);
+        the per-packet fallback aborts only the faulting packet.
+
+        Returns the number of packets accounted (== verdicts added).
         """
         rt = self.rt
+        faults = self.faults
+        contain = self.on_error == "abort"
+        accounted = 0
+        if faults is not None:
+            clean: List[Packet] = []
+            n_dropped = 0
+            n_parse = 0
+            n_helper = 0
+            for pkt in batch:
+                pf = faults.packet_fault()
+                helper = faults.helper_fault()
+                if pf == PKT_DROP:
+                    n_dropped += 1
+                elif pf in _PARSE_FAULTS:
+                    n_parse += 1
+                elif helper:
+                    n_helper += 1
+                elif pf == PKT_DUP:
+                    clean.append(pkt)
+                    clean.append(pkt)
+                else:
+                    clean.append(pkt)
+            bailed = n_parse + n_helper
+            if n_dropped:
+                actions[XdpAction.DROP] += n_dropped
+            if bailed:
+                actions[XdpAction.ABORTED] += bailed
+                if n_parse:
+                    errors[PARSE_ERROR] += n_parse
+                if n_helper:
+                    errors[HELPER_ERROR] += n_helper
+                if self.charge_framework:
+                    costs = rt.costs
+                    rt.charge(costs.xdp_dispatch * bailed, Category.FRAMEWORK)
+                    rt.charge(costs.packet_parse * bailed, Category.PARSE)
+            accounted += n_dropped + bailed
+            batch = clean
+            if not batch:
+                return accounted
         m = len(batch)
         if self.charge_framework:
             costs = rt.costs
@@ -244,7 +410,14 @@ class XdpPipeline:
                 ts = max(pkt.timestamp_ns for pkt in batch)
                 if ts > rt.now_ns:
                     rt.advance_time_ns(ts - rt.now_ns)
-            verdicts = process_batch(batch)
+            try:
+                verdicts = process_batch(batch)
+            except Exception as exc:
+                if not contain:
+                    raise
+                actions[XdpAction.ABORTED] += m
+                errors[type(exc).__name__] += 1
+                return accounted + m
             for action, count in verdicts.items():
                 if action not in _VALID_ACTIONS:
                     raise ValueError(
@@ -257,12 +430,19 @@ class XdpPipeline:
                 ts = pkt.timestamp_ns
                 if advance_clock and ts > rt.now_ns:
                     rt.advance_time_ns(ts - rt.now_ns)
-                action = nf_process(pkt)
+                try:
+                    action = nf_process(pkt)
+                except Exception as exc:
+                    if not contain:
+                        raise
+                    action = XdpAction.ABORTED
+                    errors[type(exc).__name__] += 1
                 if action not in _VALID_ACTIONS:
                     raise ValueError(
                         f"NF returned invalid XDP action {action!r}"
                     )
                 actions[action] += 1
+        return accounted + m
 
     def run_batch(
         self,
@@ -289,11 +469,11 @@ class XdpPipeline:
         """
         cycles = self.rt.cycles
         actions: Counter = Counter()
+        errors: Counter = Counter()
         start = cycles.checkpoint()
         n = 0
         for batch in iter_batches(trace, batch_size):
-            self._replay_batch(batch, actions, advance_clock)
-            n += len(batch)
+            n += self._replay_batch(batch, actions, errors, advance_clock)
         delta = cycles.delta_since(start)
         return PipelineResult(
             n_packets=n,
@@ -301,6 +481,7 @@ class XdpPipeline:
             actions=dict(actions),
             by_category=delta.by_category,
             latencies_ns=[],
+            errors=dict(errors),
         )
 
 
@@ -350,6 +531,7 @@ class ReplaySession:
         self.advance_clock = advance_clock
         self.use_batch = use_batch
         self._actions: Counter = Counter()
+        self._errors: Counter = Counter()
         self._n = 0
         self._start = pipeline.rt.cycles.checkpoint()
         self._finished = False
@@ -364,10 +546,10 @@ class ReplaySession:
             raise RuntimeError("session already finished")
         if not batch:
             return
-        self.pipeline._replay_batch(
-            batch, self._actions, self.advance_clock, self.use_batch
+        self._n += self.pipeline._replay_batch(
+            batch, self._actions, self._errors, self.advance_clock,
+            self.use_batch,
         )
-        self._n += len(batch)
 
     def finish(self) -> PipelineResult:
         """Close the session and aggregate everything fed so far."""
@@ -379,6 +561,7 @@ class ReplaySession:
             actions=dict(self._actions),
             by_category=delta.by_category,
             latencies_ns=[],
+            errors=dict(self._errors),
         )
 
 

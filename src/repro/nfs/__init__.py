@@ -8,7 +8,9 @@ from .bloom import BloomFilterNF
 from .countmin import CountMinNF
 from .counting_bloom import CountingBloomNF
 from .dary_cuckoo import DaryCuckooNF
+from .degrade import SketchDegradation
 from .elastic import ElasticSketchNF
+from .flow_table import FlowMonitorNF
 from .lru_cache import LruCacheNF
 from .maglev import MaglevNF
 from .cuckoo_filter import CuckooFilterNF
@@ -35,6 +37,7 @@ EXTENSION_NFS = {
     "sketchvisor": SketchVisorNF,
     "counting_bloom": CountingBloomNF,
     "hypercuts": HyperCutsNF,
+    "flow_monitor": FlowMonitorNF,
 }
 
 #: All evaluated NF classes, keyed by a short experiment id.
@@ -78,6 +81,8 @@ __all__ = [
     "ElasticSketchNF",
     "SketchVisorNF",
     "CountingBloomNF",
+    "FlowMonitorNF",
     "HyperCutsNF",
+    "SketchDegradation",
     "EXTENSION_NFS",
 ]

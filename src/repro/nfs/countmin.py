@@ -30,7 +30,7 @@ class CountMinNF(BaseNF):
     name = "count-min sketch"
     category = "sketching"
 
-    def __init__(self, rt, depth: int = 4, width: int = 2048) -> None:
+    def __init__(self, rt, depth: int = 4, width: int = 2048, degrade=None) -> None:
         super().__init__(rt)
         if depth <= 0 or width <= 0:
             raise ValueError("depth and width must be positive")
@@ -39,6 +39,10 @@ class CountMinNF(BaseNF):
         self.rows: List[List[int]] = [[0] * width for _ in range(depth)]
         self.hash = HashAlgos(rt, Category.MULTIHASH)
         self.total = 0
+        #: Optional :class:`~repro.nfs.degrade.SketchDegradation` aging
+        #: policy, consulted after updates (uncosted control-plane
+        #: maintenance — cycle accounting is unchanged either way).
+        self.degrade = degrade
 
     def _fetch_state(self) -> None:
         """Retrieve the sketch memory (map value / kptr instance)."""
@@ -62,6 +66,8 @@ class CountMinNF(BaseNF):
             # SIMD-batch + kfunc in eNetSTL/kernel modes.
             self.hash.hash_cnt(self.rows, key, self.depth)
         self.total += 1
+        if self.degrade is not None:
+            self.degrade.maybe_apply(self.rows, self.total)
 
     def process(self, packet: Packet) -> str:
         self._fetch_state()
@@ -95,6 +101,8 @@ class CountMinNF(BaseNF):
         else:
             self.hash.hash_cnt_bulk(rows, [pkt.key_int for pkt in packets], depth)
         self.total += n
+        if self.degrade is not None:
+            self.degrade.maybe_apply(self.rows, self.total)
         return {XdpAction.DROP: n}
 
     def columns(self, key: int) -> List[int]:

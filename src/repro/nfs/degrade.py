@@ -1,0 +1,87 @@
+"""Graceful-degradation policies for sketch NFs.
+
+A sketch that runs long enough saturates: counters grow without bound,
+estimates drift, and a real deployment must *age* the structure rather
+than fall over.  :class:`SketchDegradation` packages the three standard
+responses as a pluggable policy an NF consults after its updates:
+
+- ``"halve"``  — floor-divide every counter by two (exponential decay:
+  heavy hitters stay heavy, noise fades — ElasticSketch-style aging);
+- ``"reset"``  — zero the sketch and start a fresh epoch;
+- ``"clamp"``  — saturate counters at ``cap`` (what a fixed-width
+  hardware counter does: stop growing instead of wrapping).
+
+The policy triggers every ``threshold`` updates.  Application is
+control-plane maintenance (uncosted): the kernel side would run it from
+a timer or the userspace agent, off the packet path, so data-path cycle
+accounting stays bit-identical whether or not a policy is attached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+POLICIES = ("halve", "reset", "clamp")
+
+
+class SketchDegradation:
+    """Saturation policy: every ``threshold`` updates, age the sketch."""
+
+    def __init__(
+        self,
+        threshold: int,
+        policy: str = "halve",
+        cap: Optional[int] = None,
+    ) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {policy!r}"
+            )
+        if cap is not None and cap <= 0:
+            raise ValueError("cap must be positive")
+        self.threshold = threshold
+        self.policy = policy
+        self.cap = cap if cap is not None else threshold
+        #: Times the policy fired (the degradation ledger).
+        self.events = 0
+        self._last_applied_at = 0
+
+    def maybe_apply(self, rows: List[List[int]], total: int) -> bool:
+        """Fire the policy if ``total`` crossed the next threshold.
+
+        ``total`` is the sketch's cumulative update count; ``rows`` is
+        mutated in place.  Returns True when the policy fired.
+        """
+        if total - self._last_applied_at < self.threshold:
+            return False
+        self._last_applied_at = total
+        self.events += 1
+        if self.policy == "halve":
+            for row in rows:
+                for i, v in enumerate(row):
+                    if v:
+                        row[i] = v >> 1
+        elif self.policy == "reset":
+            for row in rows:
+                for i in range(len(row)):
+                    row[i] = 0
+        else:  # clamp
+            cap = self.cap
+            for row in rows:
+                for i, v in enumerate(row):
+                    if v > cap:
+                        row[i] = cap
+        return True
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "threshold": self.threshold,
+            "cap": self.cap,
+            "events": self.events,
+        }
+
+
+__all__ = ["POLICIES", "SketchDegradation"]

@@ -1,0 +1,139 @@
+"""Per-flow state tracking NF with pluggable map-full degradation.
+
+A flow monitor is the simplest stateful NF: one map entry per 5-tuple,
+bumped on every packet.  It is also the NF where the kernel's map-update
+failure modes bite hardest — a hash map at ``max_entries`` rejects new
+flows with ``-E2BIG``, while an LRU hash map silently evicts the
+coldest flow instead.  :class:`FlowMonitorNF` makes both behaviors (and
+their per-CPU variants) selectable, plus what the program does when an
+update *does* fail:
+
+- ``on_full="abort"``    — let the error escape; the pipeline converts
+  it to ``XDP_ABORTED`` (the unhandled-error baseline);
+- ``on_full="drop"``     — catch the error and drop the packet:
+  the flow goes untracked but the program stays healthy;
+- ``on_full="fallback"`` — catch the error and track the flow in a
+  small LRU side table (bounded-loss degradation: new flows displace
+  only other *fallback* flows, never the established main table).
+
+With ``map_type="lru"``/``"lru_percpu"`` updates cannot fail with
+E2BIG at all (the map evicts instead) — the eviction-vs-rejection
+trade-off the resilience tests measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ebpf.cost_model import Category
+from ..ebpf.maps import (
+    BpfHashMap,
+    BpfLruHashMap,
+    BpfLruPercpuHashMap,
+    BpfMap,
+    BpfPercpuHashMap,
+    MapFullError,
+    MapNoMemError,
+)
+from ..net.packet import Packet, XdpAction
+from .base import BaseNF
+
+MAP_TYPES = ("hash", "lru", "percpu", "lru_percpu")
+ON_FULL = ("abort", "drop", "fallback")
+
+DEFAULT_FALLBACK_ENTRIES = 64
+
+
+class FlowMonitorNF(BaseNF):
+    """Count packets per flow in a BPF map; degrade when the map fills."""
+
+    name = "flow monitor"
+    category = "flow tracking"
+
+    def __init__(
+        self,
+        rt,
+        max_entries: int = 4096,
+        map_type: str = "hash",
+        on_full: str = "abort",
+        n_cpus: int = 1,
+        cpu: int = 0,
+        fallback_entries: int = DEFAULT_FALLBACK_ENTRIES,
+    ) -> None:
+        super().__init__(rt)
+        if map_type not in MAP_TYPES:
+            raise ValueError(f"map_type must be one of {MAP_TYPES}, got {map_type!r}")
+        if on_full not in ON_FULL:
+            raise ValueError(f"on_full must be one of {ON_FULL}, got {on_full!r}")
+        self.map_type = map_type
+        self.on_full = on_full
+        self.cpu = cpu
+        if map_type == "hash":
+            self.flows: BpfMap = BpfHashMap(rt, max_entries, name="flows")
+        elif map_type == "lru":
+            self.flows = BpfLruHashMap(rt, max_entries, name="flows")
+        elif map_type == "percpu":
+            self.flows = BpfPercpuHashMap(rt, max_entries, n_cpus=n_cpus, name="flows")
+        else:
+            self.flows = BpfLruPercpuHashMap(
+                rt, max_entries, n_cpus=n_cpus, name="flows"
+            )
+        self._percpu = map_type in ("percpu", "lru_percpu")
+        self.fallback: Optional[BpfLruHashMap] = None
+        if on_full == "fallback":
+            self.fallback = BpfLruHashMap(rt, fallback_entries, name="flows-fallback")
+        #: Updates the map rejected (E2BIG/ENOMEM), by outcome.
+        self.rejected = 0
+        self.fallback_hits = 0
+
+    def _lookup(self, key: int):
+        if self._percpu:
+            return self.flows.lookup(key, cpu=self.cpu, category=Category.OTHER)
+        return self.flows.lookup(key, category=Category.OTHER)
+
+    def _update(self, key: int, value: int) -> None:
+        if self._percpu:
+            self.flows.update(key, value, cpu=self.cpu, category=Category.OTHER)
+        else:
+            self.flows.update(key, value, category=Category.OTHER)
+
+    def process(self, packet: Packet) -> str:
+        key = packet.key_int
+        count = self._lookup(key)
+        try:
+            self._update(key, (count or 0) + 1)
+        except (MapFullError, MapNoMemError):
+            if self.on_full == "abort":
+                raise
+            self.rejected += 1
+            if self.on_full == "fallback":
+                # Side table is LRU: this update cannot fail again.
+                side = self.fallback.lookup(key, category=Category.OTHER)
+                self.fallback.update(key, (side or 0) + 1, category=Category.OTHER)
+                self.fallback_hits += 1
+                return XdpAction.PASS
+            return XdpAction.DROP
+        return XdpAction.PASS
+
+    def count_of(self, key: int) -> int:
+        """Control-plane read of a flow's packet count (uncosted)."""
+        if self._percpu:
+            slots = self.flows.values_of(key)
+            total = sum(v or 0 for v in slots) if slots else 0
+        else:
+            store = self.flows._store
+            total = store.get(key) or 0
+        if self.fallback is not None:
+            total += self.fallback._store.get(key) or 0
+        return total
+
+    @property
+    def n_flows(self) -> int:
+        return len(self.flows)
+
+    @property
+    def evictions(self) -> int:
+        return getattr(self.flows, "evictions", 0)
+
+
+__all__ = ["FlowMonitorNF", "MAP_TYPES", "ON_FULL", "DEFAULT_FALLBACK_ENTRIES"]

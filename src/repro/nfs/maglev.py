@@ -40,8 +40,48 @@ class MaglevNF(BaseNF):
         table_size: int = 4099,
     ) -> None:
         super().__init__(rt)
+        self.all_backends = list(backends)
+        self.table_size = table_size
         self.table = MaglevTable(backends, table_size)
         self.dispatched = {name: 0 for name in backends}
+        self.failed: set = set()
+        #: Times the lookup table was rebuilt after a backend-set change.
+        self.rehashes = 0
+
+    def fail_backend(self, name: str) -> None:
+        """Take ``name`` out of rotation and rebuild the lookup table.
+
+        This is Maglev's designed degradation path: the table repopulates
+        over the survivors with minimal disruption (only the dead
+        backend's entries move), so in-flight flows to healthy backends
+        keep their affinity.  Control-plane operation — uncosted.
+        """
+        if name not in self.all_backends:
+            raise ValueError(f"unknown backend {name!r}")
+        if name in self.failed:
+            return
+        self.failed.add(name)
+        self._rebuild()
+
+    def restore_backend(self, name: str) -> None:
+        """Return a recovered backend to rotation (rebuilds the table)."""
+        if name not in self.all_backends:
+            raise ValueError(f"unknown backend {name!r}")
+        if name not in self.failed:
+            return
+        self.failed.discard(name)
+        self._rebuild()
+
+    @property
+    def healthy_backends(self) -> list:
+        return [b for b in self.all_backends if b not in self.failed]
+
+    def _rebuild(self) -> None:
+        healthy = self.healthy_backends
+        if not healthy:
+            raise ValueError("cannot rebuild: every backend has failed")
+        self.table = MaglevTable(healthy, self.table_size)
+        self.rehashes += 1
 
     def select_backend(self, key: int) -> str:
         costs = self.costs

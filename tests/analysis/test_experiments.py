@@ -177,7 +177,7 @@ class TestSurvey:
         }
         assert set(EXTENSION_NFS) == {
             "bloom", "dary_cuckoo", "lru_cache", "maglev", "elastic",
-            "sketchvisor", "counting_bloom", "hypercuts",
+            "sketchvisor", "counting_bloom", "hypercuts", "flow_monitor",
         }
 
     def test_measured_degradations_overlap_paper_ranges(self):

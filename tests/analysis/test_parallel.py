@@ -167,3 +167,104 @@ class TestCliIntegration:
             main(["--jobs", "0"])
         with pytest.raises(SystemExit):
             main(["--jobs", "fast"])
+
+    def test_retries_flag_accepted(self, capsys):
+        assert main(["--only", "fig3h", "--packets", "200", "--no-cache",
+                     "--retries", "2"]) == 0
+        assert "Eiffel" in capsys.readouterr().out
+
+
+class TestFailureHandling:
+    """A raising subtask must not poison siblings or the cache."""
+
+    @pytest.fixture()
+    def broken(self, monkeypatch):
+        from repro.analysis import parallel
+
+        def boom(n_packets=0):
+            raise RuntimeError("boom")
+
+        monkeypatch.setitem(parallel.TASK_FNS, "test_boom", boom)
+        monkeypatch.setitem(
+            parallel.EXPERIMENTS,
+            "broken",
+            parallel.Experiment(
+                lambda n: [("test_boom", {"n_packets": n})],
+                lambda partials: partials[0],
+            ),
+        )
+
+    def test_failure_raises_aggregate_error(self, broken):
+        from repro.analysis.parallel import SubtaskError
+
+        with pytest.raises(SubtaskError) as exc:
+            run_experiments(["broken"], n_packets=N, retries=0)
+        [(fn_name, kwargs, cause)] = exc.value.failures
+        assert fn_name == "test_boom"
+        assert kwargs == {"n_packets": N}
+        assert isinstance(cause, RuntimeError)
+        assert "boom" in str(exc.value)
+
+    def test_failure_in_pool_raises_too(self, broken):
+        from repro.analysis.parallel import SubtaskError
+
+        with pytest.raises(SubtaskError):
+            run_experiments(["fig3h", "broken"], n_packets=N, jobs=2,
+                            retries=0)
+
+    def test_sibling_successes_are_cached_failures_are_not(
+        self, broken, tmp_path
+    ):
+        from repro.analysis.parallel import SubtaskError
+
+        cache = ResultCache(tmp_path)
+        with pytest.raises(SubtaskError):
+            run_experiments(["fig3h", "broken"], n_packets=N, jobs=2,
+                            cache=cache, retries=0)
+        # The healthy experiment's points all landed in the cache ...
+        warm = ResultCache(tmp_path)
+        run_experiments(["fig3h"], n_packets=N, cache=warm)
+        assert warm.misses == 0
+        assert warm.hits == len(EXPERIMENTS["fig3h"].split(N))
+        # ... and the failed subtask was never written.
+        boom_key = subtask_key("test_boom", {"n_packets": N})
+        probe = ResultCache(tmp_path)
+        found, _ = probe.get(boom_key)
+        assert not found
+
+    def test_retry_recovers_transient_failure(self, monkeypatch, tmp_path):
+        from repro.analysis import parallel
+
+        marker = tmp_path / "attempts"
+
+        def flaky(n_packets=0):
+            attempts = int(marker.read_text()) if marker.exists() else 0
+            marker.write_text(str(attempts + 1))
+            if attempts == 0:
+                raise OSError("transient")
+            return {"ok": n_packets}
+
+        monkeypatch.setitem(parallel.TASK_FNS, "test_flaky", flaky)
+        monkeypatch.setitem(
+            parallel.EXPERIMENTS,
+            "flaky",
+            parallel.Experiment(
+                lambda n: [("test_flaky", {"n_packets": n})],
+                lambda partials: partials[0],
+            ),
+        )
+        out = run_experiments(["flaky"], n_packets=N, retries=1, backoff_s=0)
+        assert out["flaky"] == {"ok": N}
+        assert int(marker.read_text()) == 2
+
+    def test_exhausted_retries_surface_the_error(self, broken):
+        from repro.analysis.parallel import SubtaskError
+
+        with pytest.raises(SubtaskError, match="after retries"):
+            run_experiments(["broken"], n_packets=N, retries=2, backoff_s=0)
+
+    def test_retry_params_validated(self):
+        with pytest.raises(ValueError):
+            run_experiments(["fig3h"], n_packets=N, retries=-1)
+        with pytest.raises(ValueError):
+            run_experiments(["fig3h"], n_packets=N, backoff_s=-0.5)

@@ -1,0 +1,172 @@
+"""Map-update failure paths: E2BIG rejection, LRU eviction, injection.
+
+Covers the kernel's update failure semantics across the four hash-type
+maps: plain hash and percpu hash reject new keys at ``max_entries``
+with ``-E2BIG``, while the LRU variants evict the coldest key instead
+and never fail; fault injection makes updates fail on schedule even
+when the map has room.
+"""
+
+import pytest
+
+from repro.ebpf.maps import (
+    BpfHashMap,
+    BpfLruHashMap,
+    BpfLruPercpuHashMap,
+    BpfPercpuHashMap,
+    MapFullError,
+    MapNoMemError,
+)
+from repro.ebpf.runtime import BpfRuntime
+from repro.faults import FaultPlan
+
+
+@pytest.fixture()
+def rt():
+    return BpfRuntime()
+
+
+class TestHashMapRejection:
+    def test_overflow_raises_e2big(self, rt):
+        m = BpfHashMap(rt, max_entries=4, name="flows")
+        for k in range(4):
+            m.update(k, k)
+        with pytest.raises(MapFullError) as err:
+            m.update(99, 99)
+        assert err.value.errno == -7
+        assert len(m) == 4
+
+    def test_existing_key_updates_at_capacity(self, rt):
+        m = BpfHashMap(rt, max_entries=2)
+        m.update("a", 1)
+        m.update("b", 2)
+        m.update("a", 10)          # overwrite: no new entry, no error
+        assert m.lookup("a") == 10
+
+    def test_delete_then_insert_fits_again(self, rt):
+        m = BpfHashMap(rt, max_entries=2)
+        m.update("a", 1)
+        m.update("b", 2)
+        assert m.delete("a")
+        m.update("c", 3)
+        assert m.lookup("c") == 3
+
+
+class TestLruEviction:
+    def test_overflow_evicts_instead_of_failing(self, rt):
+        m = BpfLruHashMap(rt, max_entries=3)
+        for k in "abc":
+            m.update(k, k)
+        m.update("d", "d")          # evicts "a", the coldest
+        assert m.evictions == 1
+        assert m.lookup("a") is None
+        assert m.lookup("d") == "d"
+        assert len(m) == 3
+
+    def test_lookup_refreshes_recency(self, rt):
+        m = BpfLruHashMap(rt, max_entries=2)
+        m.update("a", 1)
+        m.update("b", 2)
+        m.lookup("a")               # "a" now hot, "b" cold
+        m.update("c", 3)
+        assert m.lookup("b") is None
+        assert m.lookup("a") == 1
+
+
+class TestPercpuVariants:
+    def test_percpu_overflow_raises_e2big(self, rt):
+        m = BpfPercpuHashMap(rt, max_entries=2, n_cpus=4)
+        m.update("a", 1, cpu=0)
+        m.update("b", 2, cpu=1)
+        with pytest.raises(MapFullError):
+            m.update("c", 3, cpu=2)
+
+    def test_percpu_slots_are_private(self, rt):
+        m = BpfPercpuHashMap(rt, max_entries=4, n_cpus=2)
+        m.update("k", 10, cpu=0)
+        m.update("k", 20, cpu=1)
+        assert m.lookup("k", cpu=0) == 10
+        assert m.lookup("k", cpu=1) == 20
+        assert m.values_of("k") == [10, 20]
+
+    def test_percpu_same_key_never_counts_twice(self, rt):
+        m = BpfPercpuHashMap(rt, max_entries=1, n_cpus=4)
+        for cpu in range(4):
+            m.update("shared", cpu, cpu=cpu)
+        assert len(m) == 1
+
+    def test_lru_percpu_evicts_whole_key(self, rt):
+        m = BpfLruPercpuHashMap(rt, max_entries=2, n_cpus=2)
+        m.update("a", 1, cpu=0)
+        m.update("a", 2, cpu=1)
+        m.update("b", 3, cpu=0)
+        m.update("c", 4, cpu=1)     # evicts "a" with both its slots
+        assert m.evictions == 1
+        assert m.values_of("a") is None
+        assert m.lookup("b", cpu=0) == 3
+
+    def test_lru_percpu_lookup_refreshes(self, rt):
+        m = BpfLruPercpuHashMap(rt, max_entries=2, n_cpus=1)
+        m.update("a", 1)
+        m.update("b", 2)
+        m.lookup("a")
+        m.update("c", 3)
+        assert m.values_of("b") is None
+        assert m.lookup("a") == 1
+
+    def test_cpu_bounds_checked(self, rt):
+        m = BpfPercpuHashMap(rt, max_entries=4, n_cpus=2)
+        with pytest.raises(IndexError):
+            m.update("k", 1, cpu=2)
+        with pytest.raises(IndexError):
+            m.lookup("k", cpu=-1)
+
+
+class TestInjectedMapFaults:
+    def test_injected_full_fails_update_with_room(self, rt):
+        rt.faults = FaultPlan(map_full_rate=1.0).injector()
+        m = BpfHashMap(rt, max_entries=100, name="flows")
+        with pytest.raises(MapFullError, match="injected"):
+            m.update("a", 1)
+        assert len(m) == 0
+
+    def test_injected_nomem(self, rt):
+        rt.faults = FaultPlan(map_nomem_rate=1.0).injector()
+        m = BpfLruHashMap(rt, max_entries=100)
+        with pytest.raises(MapNoMemError) as err:
+            m.update("a", 1)
+        assert err.value.errno == -12
+
+    def test_injection_hits_every_hash_map_type(self, rt):
+        rt.faults = FaultPlan(map_full_rate=1.0).injector()
+        for m in (
+            BpfHashMap(rt, 8),
+            BpfLruHashMap(rt, 8),
+            BpfPercpuHashMap(rt, 8),
+            BpfLruPercpuHashMap(rt, 8),
+        ):
+            with pytest.raises(MapFullError):
+                m.update("k", 1)
+
+    def test_partial_rate_is_deterministic(self, rt):
+        def failures(seed):
+            runtime = BpfRuntime()
+            runtime.faults = FaultPlan(map_full_rate=0.2, seed=seed).injector()
+            m = BpfLruHashMap(runtime, max_entries=10_000)
+            failed = []
+            for i in range(500):
+                try:
+                    m.update(i, i)
+                except MapFullError:
+                    failed.append(i)
+            return failed
+
+        assert failures(7) == failures(7)
+        assert failures(7) != failures(8)
+        assert 0 < len(failures(7)) < 500
+
+    def test_no_injector_no_faults(self, rt):
+        m = BpfHashMap(rt, max_entries=100)
+        for i in range(100):
+            m.update(i, i)
+        assert len(m) == 100

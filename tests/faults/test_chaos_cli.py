@@ -1,0 +1,113 @@
+"""Tests for the chaos harness CLI (python -m repro.faults)."""
+
+import json
+
+import pytest
+
+from repro.faults.__main__ import main
+from repro.net.flowgen import FlowGenerator
+from repro.net.trace import dump_trace
+
+QUICK = ["--packets", "2000", "--cores", "4", "--flows", "128"]
+
+
+@pytest.fixture()
+def trace_csv(tmp_path):
+    path = tmp_path / "trace.csv"
+    dump_trace(
+        FlowGenerator(n_flows=128, seed=5, distribution="zipf").trace(1500),
+        path,
+    )
+    return str(path)
+
+
+class TestChaosRuns:
+    def test_synthetic_run_accounts_and_exits_zero(self, capsys):
+        assert main(QUICK + ["--rate", "0.01", "--expect-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos replay: 2000 packets" in out
+        assert "accounting: OK" in out
+        assert "injected" in out
+
+    def test_trace_file_run(self, trace_csv, capsys):
+        assert main([trace_csv, "--cores", "4", "--rate", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos replay: 1500 packets" in out
+
+    def test_zero_rate_injects_nothing(self, capsys):
+        assert main(QUICK + ["--rate", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "injected" not in out
+        assert "accounting: OK" in out
+
+    def test_expect_faults_fails_on_zero_rate(self, capsys):
+        assert main(QUICK + ["--rate", "0", "--expect-faults"]) == 1
+        assert "expected injected faults" in capsys.readouterr().err
+
+    def test_crash_run_reports_watchdog(self, capsys):
+        assert main(QUICK + ["--crash-core", "1", "--crash-at", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "core 1 crash" in out
+        assert "re-steered" in out
+        assert "accounting: OK" in out
+
+    def test_wedge_run_reports_watchdog(self, capsys):
+        argv = QUICK + [
+            "--wedge-core", "0", "--wedge-at", "50",
+            "--watchdog-deadline", "128",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "core 0 wedge" in out
+        assert "accounting: OK" in out
+
+    def test_json_report(self, capsys):
+        assert main(QUICK + ["--rate", "0.01", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        acc = report["accounting"]
+        assert report["accounted"] is True
+        assert (
+            acc["packets_in"] + acc["duplicated"]
+            == acc["forwarded"] + acc["dropped"] + acc["aborted"]
+        )
+        assert report["total_injected"] > 0
+
+    def test_same_seed_same_report(self, capsys):
+        argv = QUICK + ["--rate", "0.02", "--seed", "9", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    @pytest.mark.parametrize("nf", ["countmin", "bloom", "maglev", "flow_monitor"])
+    def test_every_nf_survives_chaos(self, nf, capsys):
+        argv = ["--packets", "1000", "--cores", "2", "--flows", "64",
+                "--rate", "0.05", "--nf", nf]
+        assert main(argv) == 0
+        assert "accounting: OK" in capsys.readouterr().out
+
+
+class TestChaosCliErrors:
+    def test_unreadable_trace_exits_one(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.csv")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_all_cores_dead_is_a_clean_failure(self, capsys):
+        argv = ["--packets", "500", "--cores", "1", "--crash-core", "0"]
+        assert main(argv) == 1
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("argv", [
+        ["--rate", "1.5"],
+        ["--rate", "lots"],
+        ["--cores", "0"],
+        ["--batch-size", "-4"],
+        ["--watchdog-deadline", "0"],
+        ["--nf", "teleport"],
+        ["--policy", "magic"],
+    ])
+    def test_bad_arguments_exit_two(self, argv):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2

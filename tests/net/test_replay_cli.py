@@ -80,3 +80,20 @@ class TestCli:
     def test_unknown_policy_rejected_by_argparse(self, trace_csv):
         with pytest.raises(SystemExit):
             main([trace_csv, "--policy", "magic"])
+
+    @pytest.mark.parametrize("argv", [
+        ["--cores", "0"],
+        ["--cores", "-2"],
+        ["--cores", "four"],
+        ["--batch-size", "0"],
+        ["--numa-nodes", "-3"],
+        ["--numa-nodes", "1.5"],
+    ])
+    def test_invalid_numeric_args_exit_nonzero(self, trace_csv, argv, capsys):
+        """Bad --cores/--batch-size/--numa-nodes: clean argparse error,
+        not a traceback."""
+        with pytest.raises(SystemExit) as exc:
+            main([trace_csv] + argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "positive integer" in err or "is not an integer" in err
