@@ -7,12 +7,16 @@ and shows the verifier's judgments:
 - a correct allocate/check/release program is accepted and runs;
 - forgetting the NULL check, leaking the node, or using it after
   release are all rejected statically — the paper's §4.1/§4.4 story,
-  where the verifier validates *metadata*, never kfunc bodies.
+  where the verifier validates *metadata*, never kfunc bodies;
+- range tracking in action: a guarded packet read and a constant-trip
+  loop are accepted with their safety checks marked elidable, shown as
+  a disassembly interleaved with per-instruction range facts.
 
 Run:  python examples/verifier_demo.py
 """
 
 from repro.core.kfunc import enetstl_registry
+from repro.ebpf.disasm import disassemble_one
 from repro.ebpf.insn import (
     Call,
     Exit,
@@ -26,6 +30,7 @@ from repro.ebpf.insn import (
     R3,
     R6,
 )
+from repro.ebpf.progs import get_case
 from repro.ebpf.verifier import Verifier, VerifierError
 
 
@@ -117,6 +122,54 @@ def main() -> None:
         print("  ACCEPTED  socket-filter bpf_ffs64 (unexpected!)")
     except VerifierError as exc:
         print(f"  REJECTED  socket-filter bpf_ffs64: {exc}")
+
+    demo_range_facts()
+    demo_rejection_diagnostics()
+
+
+def _show_facts(name: str) -> None:
+    """Verify a bundled program and print its annotated listing."""
+    case = get_case(name)
+    verifier = Verifier(enetstl_registry(), collect_facts=True)
+    vp = verifier.verify(case.prog)
+    ann = vp.annotations
+    print(
+        f"\n  ACCEPTED  {name}  ({vp.stats.states_explored} states explored, "
+        f"{vp.stats.checks_elided} checks elided, "
+        f"{vp.stats.loops_bounded} loops bounded)"
+    )
+    for i, insn in enumerate(case.prog):
+        tags = []
+        if i in ann.safe_mem:
+            tags.append("mem-check elided")
+        if i in ann.safe_div:
+            tags.append("div-check elided")
+        if i in ann.loop_bounds:
+            tags.append(f"back-edge x{ann.loop_bounds[i]}")
+        tag = f"   ; {', '.join(tags)}" if tags else ""
+        print(f"  {i:4d}: {disassemble_one(insn)}{tag}")
+        for fact in ann.facts.get(i, []):
+            print(f"        | {fact}")
+
+
+def demo_range_facts() -> None:
+    """Range tracking pays in the data plane: proofs elide checks."""
+    print("\nrange-aware verification (disasm interleaved with facts):")
+    _show_facts("pkt_guarded_read")
+    _show_facts("loop_counted")
+
+
+def demo_rejection_diagnostics() -> None:
+    """A rejection names the instruction, the path, and the state."""
+    case = get_case("div_maybe_zero")
+    print("\nrejection diagnostics (the --explain view):")
+    try:
+        Verifier(enetstl_registry()).verify(case.prog)
+        print(f"  ACCEPTED  {case.name} (unexpected!)")
+    except VerifierError as exc:
+        print(f"  REJECTED  {case.name}:")
+        for line in exc.explain().splitlines():
+            print(f"    {line}")
 
 
 if __name__ == "__main__":

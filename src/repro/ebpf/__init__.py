@@ -46,8 +46,15 @@ from .percpu import (
     sum_vectors,
 )
 from .runtime import BpfRuntime
-from .verifier import Verifier, VerifierError, VerifierStats
-from .vm import KernelObject, Pointer, Vm, VmFault
+from .tnum import ScalarRange, Tnum, const_range, tnum_const, tnum_range, unknown_range
+from .verifier import (
+    ProofAnnotations,
+    VerifiedProgram,
+    Verifier,
+    VerifierError,
+    VerifierStats,
+)
+from .vm import KernelObject, Pointer, Vm, VmFault, VmStats
 
 __all__ = [
     "disassemble",
@@ -90,6 +97,14 @@ __all__ = [
     "sum_matrices",
     "sum_vectors",
     "BpfRuntime",
+    "ScalarRange",
+    "Tnum",
+    "const_range",
+    "tnum_const",
+    "tnum_range",
+    "unknown_range",
+    "ProofAnnotations",
+    "VerifiedProgram",
     "Verifier",
     "VerifierError",
     "VerifierStats",
@@ -97,4 +112,5 @@ __all__ = [
     "Pointer",
     "Vm",
     "VmFault",
+    "VmStats",
 ]

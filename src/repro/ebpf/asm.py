@@ -1,0 +1,163 @@
+"""Assembler for the eBPF-like IR's textual form.
+
+Parses the exact syntax :mod:`repro.ebpf.disasm` emits (bpftool-ish),
+so ``assemble(disassemble(prog))`` round-trips every opcode.  This is
+the input format of the ``python -m repro.ebpf.verify --asm`` CLI: a
+small textual IR for trying out programs against the verifier without
+writing Python.
+
+Grammar (one instruction per line)::
+
+    ; comment                      blank lines and ;-comments ignored
+    3: r0 = 42                     optional "N:" index prefix ignored
+    r0 = 42          | r0 = r2     Mov (immediate / register)
+    r1 += 8          | r1 *= r2    Alu (+= -= *= /= %= &= |= ^= <<= >>=)
+    r0 = *(u64 *)(r10 -8)          Load
+    *(u64 *)(r10 -16) = 7          Store (immediate or register source)
+    call bpf_map_lookup_elem       Call
+    goto 5                         Jmp (absolute instruction index)
+    if r0 != 0 goto 3              JmpIf (== != < <= > >=)
+    exit                           Exit
+
+Immediates accept decimal (optionally negative) and ``0x`` hex.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Union
+
+from .insn import (
+    Alu,
+    Call,
+    Exit,
+    Imm,
+    Insn,
+    Jmp,
+    JmpIf,
+    Load,
+    Mov,
+    Program,
+    Store,
+)
+
+_ALU_OPS = {
+    "+=": "add",
+    "-=": "sub",
+    "*=": "mul",
+    "/=": "div",
+    "%=": "mod",
+    "&=": "and",
+    "|=": "or",
+    "^=": "xor",
+    "<<=": "lsh",
+    ">>=": "rsh",
+}
+
+_JMP_OPS = {
+    "==": "eq",
+    "!=": "ne",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+}
+
+_NUM = r"(?:-?\d+|0x[0-9a-fA-F]+)"
+_REG = r"r(\d+)"
+_OPERAND = rf"(?:{_REG}|({_NUM}))"
+
+_RE_MOV = re.compile(rf"^{_REG} = {_OPERAND}$")
+_RE_ALU = re.compile(
+    rf"^{_REG} (\+=|-=|\*=|/=|%=|&=|\|=|\^=|<<=|>>=) {_OPERAND}$"
+)
+_RE_LOAD = re.compile(rf"^{_REG} = \*\(u64 \*\)\({_REG} ([+-]\d+)\)$")
+_RE_STORE = re.compile(rf"^\*\(u64 \*\)\({_REG} ([+-]\d+)\) = {_OPERAND}$")
+_RE_CALL = re.compile(r"^call (\S+)$")
+_RE_JMP = re.compile(r"^goto (\d+)$")
+_RE_JMPIF = re.compile(
+    rf"^if {_REG} (==|!=|<=|>=|<|>) {_OPERAND} goto (\d+)$"
+)
+_RE_EXIT = re.compile(r"^exit$")
+_RE_INDEX = re.compile(r"^\d+:\s*")
+
+
+class AsmError(ValueError):
+    """A line that does not parse; carries the 1-based line number."""
+
+    def __init__(self, message: str, lineno: int) -> None:
+        self.lineno = lineno
+        super().__init__(f"line {lineno}: {message}")
+
+
+def _imm(text: str) -> int:
+    return int(text, 0)
+
+
+def _operand(reg: str, imm: str) -> Union[int, Imm]:
+    if reg is not None:
+        return int(reg)
+    return Imm(_imm(imm))
+
+
+def parse_insn(line: str) -> Insn:
+    """Parse one instruction in disasm syntax (no comments/prefixes)."""
+    m = _RE_EXIT.match(line)
+    if m:
+        return Exit()
+    m = _RE_LOAD.match(line)
+    if m:
+        return Load(dst=int(m.group(1)), base=int(m.group(2)), off=int(m.group(3)))
+    m = _RE_STORE.match(line)
+    if m:
+        return Store(
+            base=int(m.group(1)), off=int(m.group(2)),
+            src=_operand(m.group(3), m.group(4)),
+        )
+    m = _RE_MOV.match(line)
+    if m:
+        return Mov(dst=int(m.group(1)), src=_operand(m.group(2), m.group(3)))
+    m = _RE_ALU.match(line)
+    if m:
+        return Alu(
+            op=_ALU_OPS[m.group(2)], dst=int(m.group(1)),
+            src=_operand(m.group(3), m.group(4)),
+        )
+    m = _RE_CALL.match(line)
+    if m:
+        return Call(func=m.group(1))
+    m = _RE_JMPIF.match(line)
+    if m:
+        return JmpIf(
+            op=_JMP_OPS[m.group(2)], lhs=int(m.group(1)),
+            rhs=_operand(m.group(3), m.group(4)), target=int(m.group(5)),
+        )
+    m = _RE_JMP.match(line)
+    if m:
+        return Jmp(target=int(m.group(1)))
+    raise ValueError(f"cannot parse instruction {line!r}")
+
+
+def assemble(text: str, name: str = "asm") -> Program:
+    """Assemble a textual listing into a :class:`Program`.
+
+    Accepts exactly what :func:`repro.ebpf.disasm.disassemble` prints:
+    ``;`` comments and blank lines are skipped, a leading ``N:`` index
+    is ignored, everything else must be an instruction.
+    """
+    insns: List[Insn] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        line = _RE_INDEX.sub("", line)
+        try:
+            insns.append(parse_insn(line))
+        except ValueError as exc:
+            raise AsmError(str(exc), lineno) from None
+    if not insns:
+        raise AsmError("no instructions found", 1)
+    try:
+        return Program(insns, name=name)
+    except ValueError as exc:
+        raise AsmError(str(exc), len(insns)) from None

@@ -91,6 +91,8 @@ class CostModel:
     kernel_call: int = 3            # plain function call inside kernel code
     null_check: int = 2             # verifier-mandated NULL check
     bounds_check: int = 3           # verifier-mandated bounds re-check
+    div_check: int = 2              # runtime divisor != 0 test
+    insn_exec: int = 1              # one interpreted IR instruction
     mem_copy_per_16b: int = 4       # memcpy cost per 16-byte chunk
 
     # -- BPF maps ------------------------------------------------------

@@ -43,6 +43,12 @@ RET_SCALAR = "scalar"
 RET_KPTR = "kptr"
 RET_VOID = "void"
 
+#: Program types a kfunc may restrict itself to (``prog_types=None``
+#: means callable from any type).
+VALID_PROG_TYPES = frozenset(
+    {"xdp", "tc", "socket_filter", "tracing", "cgroup_skb"}
+)
+
 
 @dataclass(frozen=True)
 class KfuncMeta:
@@ -52,6 +58,17 @@ class KfuncMeta:
     consumes (0-based; defaults to the first).  ``bpf_kptr_xchg`` uses
     this: it releases its *second* argument (the kptr being persisted
     into the map) while returning the previously stored one.
+
+    ``size_arg`` names the ``ARG_CONST`` argument holding the byte size
+    of the returned kernel region (the ``size__k`` convention, as in
+    ``bpf_obj_new``).  The verifier bounds accesses through the
+    returned kptr by that constant instead of the default
+    ``KPTR_REGION_SIZE``; implementations must allocate exactly the
+    declared size (capped at ``KPTR_REGION_SIZE``).
+
+    Every constraint is validated *at registration time* — a bad meta
+    never reaches the verifier, mirroring how the kernel rejects
+    malformed kfunc ID sets at module load, not at program load.
     """
 
     name: str
@@ -61,8 +78,11 @@ class KfuncMeta:
     prog_types: Optional[frozenset] = None  # None = any program type
     impl: Optional[Callable] = None
     release_arg: int = 0
+    size_arg: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"kfunc name must be a non-empty string: {self.name!r}")
         bad = set(self.flags) - VALID_FLAGS
         if bad:
             raise ValueError(f"{self.name}: unknown flags {sorted(bad)}")
@@ -84,6 +104,35 @@ class KfuncMeta:
                 raise ValueError(
                     f"{self.name}: KF_RELEASE requires a kptr release argument"
                 )
+        elif self.release_arg != 0:
+            raise ValueError(
+                f"{self.name}: release_arg without KF_RELEASE has no effect"
+            )
+        if self.size_arg is not None:
+            if self.ret != RET_KPTR:
+                raise ValueError(
+                    f"{self.name}: size_arg requires a kptr return"
+                )
+            if not 0 <= self.size_arg < len(self.args):
+                raise ValueError(
+                    f"{self.name}: size_arg {self.size_arg} out of range"
+                )
+            if self.args[self.size_arg] != ARG_CONST:
+                raise ValueError(
+                    f"{self.name}: size_arg must name an ARG_CONST argument"
+                )
+        if self.prog_types is not None:
+            if not self.prog_types:
+                raise ValueError(
+                    f"{self.name}: prog_types must be None (any) or non-empty"
+                )
+            unknown = set(self.prog_types) - VALID_PROG_TYPES
+            if unknown:
+                raise ValueError(
+                    f"{self.name}: unknown program types {sorted(unknown)}"
+                )
+        if self.impl is not None and not callable(self.impl):
+            raise ValueError(f"{self.name}: impl must be callable")
 
     @property
     def acquires(self) -> bool:
@@ -119,6 +168,7 @@ class KfuncRegistry:
         prog_types: Optional[Iterable[str]] = None,
         impl: Optional[Callable] = None,
         release_arg: int = 0,
+        size_arg: Optional[int] = None,
     ) -> KfuncMeta:
         """Convenience constructor + register."""
         return self.register(
@@ -130,6 +180,7 @@ class KfuncRegistry:
                 prog_types=frozenset(prog_types) if prog_types is not None else None,
                 impl=impl,
                 release_arg=release_arg,
+                size_arg=size_arg,
             )
         )
 
@@ -163,6 +214,7 @@ def default_registry() -> KfuncRegistry:
         args=(ARG_CONST,),
         ret=RET_KPTR,
         flags=(KF_ACQUIRE, KF_RET_NULL),
+        size_arg=0,
     )
     reg.define("bpf_obj_drop", args=(ARG_KPTR,), ret=RET_VOID, flags=(KF_RELEASE,))
     # Persist an acquired kptr into a map slot, getting the previously

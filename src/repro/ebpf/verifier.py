@@ -2,29 +2,45 @@
 
 Implements the safety rules the paper's design leans on (§4.1, §4.4):
 
-1. **Safe termination** — no back edges (unbounded loops), no
-   out-of-bounds jumps, no possible division by zero, bounded
+1. **Safe termination** — loops must have a statically provable trip
+   bound (back edges are accepted only while the abstract state keeps
+   making progress; a repeating state on a back edge is rejected),
+   no out-of-bounds jumps, no possible division by zero, bounded
    verification complexity.
 2. **Memory safety** — stack accesses in-bounds and initialized-before-
-   read, kernel pointers null-checked before dereference
-   (``KF_RET_NULL``), no pointer stores into kernel memory.
+   read, packet access proven against ``data_end``, kernel pointers
+   null-checked before dereference (``KF_RET_NULL``), no pointer stores
+   into kernel memory.
 3. **Resource safety** — every acquired reference (``KF_ACQUIRE``) is
    released exactly once (``KF_RELEASE``) on every path; released
    pointers are invalidated everywhere (no use-after-free); only valid
    pointers may be passed to kfuncs.
 
 The verifier is a path-sensitive abstract interpreter: it explores the
-program's CFG with symbolic register/stack states, refines pointer
-nullness at conditional branches, and prunes states it has already
-visited.  Like the kernel's verifier it validates programs against
-kfunc *metadata* (:mod:`repro.ebpf.kfunc_meta`), never against kfunc
+program's CFG depth-first with symbolic register/stack states, prunes
+states it has already fully explored, and rejects a cycle in the
+abstract state graph as a possible unbounded loop.  Scalars carry a
+full value-tracking domain (:mod:`repro.ebpf.tnum`: known bits plus
+unsigned/signed intervals) refined at conditional branches — this is
+what accepts guarded packet access, variable-offset access into a
+checked region, range-proven divisors and shift amounts, and
+constant-trip-count loops (unrolled through value tracking).
+
+Verification produces a :class:`VerifiedProgram` whose
+:class:`ProofAnnotations` record which instructions were proven safe
+on every reachable path; the VM (:mod:`repro.ebpf.vm`) consumes them
+to *elide* the corresponding runtime checks — the paper's lazy-check
+payoff, where static analysis buys back hot-path cycles.
+
+Like the kernel's verifier it validates programs against kfunc
+*metadata* (:mod:`repro.ebpf.kfunc_meta`), never against kfunc
 implementations.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
 
 from .insn import (
@@ -56,6 +72,14 @@ from .kfunc_meta import (
     RET_SCALAR,
     RET_VOID,
 )
+from .tnum import (
+    ScalarRange,
+    U64_MAX,
+    const_range,
+    eval_cmp,
+    refine_cmp,
+    unknown_range,
+)
 
 #: Size (bytes) of kernel memory regions returned by kfuncs; accesses
 #: beyond this are rejected as out-of-bounds.
@@ -66,57 +90,151 @@ ACCESS_SIZE = 8
 #: Complexity cap: maximum abstract states explored before rejecting.
 MAX_STATES = 50_000
 
+#: Largest scalar umax allowed into pointer arithmetic — anything wider
+#: can never pass a bounds check, so reject at the ALU (clear message,
+#: matches the kernel's refusal of unbounded var_off).
+VAR_OFF_LIMIT = 1 << 32
+
+#: Per-instruction entry states kept for the CLI's range-fact listing.
+MAX_FACTS_PER_INSN = 4
+
 NOT_INIT = "not_init"
 SCALAR = "scalar"
 STACK_PTR = "stack_ptr"
 CTX_PTR = "ctx_ptr"
 KPTR = "kptr"
-PKT_PTR = "pkt_ptr"      # ctx->data (+ constant offset)
+PKT_PTR = "pkt_ptr"      # ctx->data (+ tracked offset)
 PKT_END = "pkt_end"      # ctx->data_end
 
 #: XDP context layout: loads at these ctx offsets yield packet pointers.
 CTX_OFF_DATA = 0
 CTX_OFF_DATA_END = 8
 
+#: Operand flip for ``data_end <op> data`` comparisons.
+_FLIP_CMP = {"lt": "gt", "gt": "lt", "le": "ge", "ge": "le", "eq": "eq", "ne": "ne"}
+
 
 class VerifierError(Exception):
-    """Program rejected; carries the offending instruction index."""
+    """Program rejected; carries the offending instruction index plus —
+    when raised during path exploration — the disassembled instruction,
+    the abstract state on the failing path, and the path itself.
+
+    :meth:`explain` renders the full diagnostic (the CLI's
+    ``--explain`` flag prints it).
+    """
 
     def __init__(self, message: str, pc: Optional[int] = None) -> None:
         self.pc = pc
+        self.message = message
+        #: Filled in by the explorer when the failure happened on a path.
+        self.insn_text: Optional[str] = None
+        self.state_text: Optional[str] = None
+        self.path: Optional[List[int]] = None
         prefix = f"insn {pc}: " if pc is not None else ""
         super().__init__(prefix + message)
+
+    def explain(self) -> str:
+        """Multi-line diagnostic: instruction, failing path, state."""
+        lines = [str(self)]
+        if self.insn_text is not None:
+            lines.append(f"  at: {self.insn_text}")
+        if self.path is not None:
+            shown = self.path if len(self.path) <= 24 else (
+                self.path[:8] + ["..."] + self.path[-15:]
+            )
+            lines.append("  path: " + " -> ".join(str(p) for p in shown))
+        if self.state_text is not None:
+            lines.append(f"  state: {self.state_text}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
 class Reg:
-    """Abstract state of one register."""
+    """Abstract state of one register.
+
+    Scalars carry a :class:`ScalarRange` (``rng``).  Pointers carry a
+    constant offset (``off``) plus an optional *variable* offset range
+    (``var``) accumulated from bounded-scalar pointer arithmetic — the
+    kernel's ``var_off`` — used for variable-offset packet and stack
+    access proofs.
+    """
 
     kind: str = NOT_INIT
-    const: Optional[int] = None      # known constant (scalars only)
-    off: int = 0                     # pointer offset (stack/kptr/ctx)
-    maybe_null: bool = False         # unchecked kfunc return
-    ref_id: Optional[int] = None     # acquired-reference identity
+    rng: Optional[ScalarRange] = None     # scalar value range
+    off: int = 0                          # pointer fixed offset
+    var: Optional[ScalarRange] = None     # pointer variable offset
+    var_id: Optional[int] = None          # identity of the variable part
+    maybe_null: bool = False              # unchecked kfunc return
+    ref_id: Optional[int] = None          # acquired-reference identity
+    #: Known byte size of the pointed-to kernel region (KPTR only).
+    #: Set from the acquiring kfunc's declared ``size_arg`` constant;
+    #: ``None`` falls back to :data:`KPTR_REGION_SIZE`.
+    size: Optional[int] = None
 
     @property
     def is_pointer(self) -> bool:
         return self.kind in (STACK_PTR, CTX_PTR, KPTR, PKT_PTR, PKT_END)
 
-    def key(self) -> Tuple:
-        # Constant values are dropped from the pruning key except small
-        # ones, keeping the visited-set finite without losing precision
-        # where it matters (null checks track 0 exactly).
-        const = self.const if self.const is not None and -16 <= self.const <= 16 else (
-            "any" if self.const is not None else None
-        )
-        return (self.kind, const, self.off, self.maybe_null, self.ref_id)
+    @property
+    def const(self) -> Optional[int]:
+        """Known constant value (scalars only), canonical u64."""
+        if self.kind == SCALAR and self.rng is not None:
+            return self.rng.const
+        return None
+
+    @property
+    def var_min(self) -> int:
+        return self.var.umin if self.var is not None else 0
+
+    @property
+    def var_max(self) -> int:
+        return self.var.umax if self.var is not None else 0
+
+    def key(self, ref_canon: Dict[int, int], var_canon: Dict[int, int]) -> Tuple:
+        rng_key = self.rng.key() if self.rng is not None else None
+        var_key = self.var.key() if self.var is not None else None
+        ref = None
+        if self.ref_id is not None:
+            ref = ref_canon.setdefault(self.ref_id, len(ref_canon))
+        vid = None
+        if self.var_id is not None:
+            vid = var_canon.setdefault(self.var_id, len(var_canon))
+        return (self.kind, rng_key, self.off, var_key, vid, self.maybe_null,
+                ref, self.size)
+
+    def describe(self, name: str) -> Optional[str]:
+        """Compact human-readable fact, or ``None`` for uninit regs."""
+        if self.kind == NOT_INIT:
+            return None
+        if self.kind == SCALAR:
+            return f"{name}={self.rng}"
+        parts = {STACK_PTR: "fp", CTX_PTR: "ctx", KPTR: "kptr",
+                 PKT_PTR: "pkt", PKT_END: "pkt_end"}[self.kind]
+        s = f"{name}={parts}"
+        if self.size is not None:
+            s += f"[{self.size}]"
+        if self.off or self.var is not None:
+            s += f"{self.off:+d}"
+        if self.var is not None:
+            s += f"+[{self.var.umin},{self.var.umax}]"
+        if self.maybe_null:
+            s += "?"
+        if self.ref_id is not None:
+            s += f" (ref)"
+        return s
 
 
-SCALAR_UNKNOWN = Reg(kind=SCALAR)
+SCALAR_UNKNOWN = Reg(kind=SCALAR, rng=unknown_range())
 
 
 def scalar(value: Optional[int] = None) -> Reg:
-    return Reg(kind=SCALAR, const=value)
+    if value is None:
+        return SCALAR_UNKNOWN
+    return Reg(kind=SCALAR, rng=const_range(value))
+
+
+def scalar_range(rng: ScalarRange) -> Reg:
+    return Reg(kind=SCALAR, rng=rng)
 
 
 @dataclass(frozen=True)
@@ -126,8 +244,15 @@ class AbstractState:
     regs: Tuple[Reg, ...]
     stack: Tuple[Tuple[int, Reg], ...]          # (slot offset, stored state)
     refs: FrozenSet[int]
-    #: Bytes of packet data proven in-bounds by a data_end comparison.
+    #: Bytes of packet data proven in-bounds by a data_end comparison
+    #: (counted from ``data`` plus the checked pointer's *minimum*
+    #: variable offset — the conservative global fact).
     pkt_checked: int = 0
+    #: Per-variable-offset proofs: ``var_id -> P`` means a pointer
+    #: carrying that variable part was proven ``data + var + P <=
+    #: data_end`` — any same-var pointer may access fixed bytes ``< P``
+    #: (the kernel's ``find_good_pkt_pointers`` range propagation).
+    pkt_vchecked: Tuple[Tuple[int, int], ...] = ()
 
     def reg(self, i: int) -> Reg:
         return self.regs[i]
@@ -149,12 +274,36 @@ class AbstractState:
         return None
 
     def key(self) -> Tuple:
-        return (
-            tuple(r.key() for r in self.regs),
-            tuple((off, r.key()) for off, r in self.stack),
-            tuple(sorted(self.refs)),
-            self.pkt_checked,
-        )
+        # Acquired-reference and variable-offset ids are canonicalized
+        # by first appearance so loop iterations that mint fresh ids
+        # still converge to identical keys.
+        ref_canon: Dict[int, int] = {}
+        var_canon: Dict[int, int] = {}
+        regs = tuple(r.key(ref_canon, var_canon) for r in self.regs)
+        stack = tuple((off, r.key(ref_canon, var_canon)) for off, r in self.stack)
+        refs = tuple(sorted(ref_canon.setdefault(r, len(ref_canon))
+                            for r in self.refs))
+        vchecked = tuple(sorted(
+            (var_canon[vid], p) for vid, p in self.pkt_vchecked
+            if vid in var_canon  # proofs for dead vars don't distinguish states
+        ))
+        return (regs, stack, refs, self.pkt_checked, vchecked)
+
+    def describe(self) -> str:
+        parts = []
+        for i, r in enumerate(self.regs):
+            fact = r.describe(f"r{i}")
+            if fact is not None:
+                parts.append(fact)
+        if self.pkt_checked:
+            parts.append(f"pkt_checked={self.pkt_checked}")
+        if self.refs:
+            parts.append(f"live_refs={len(self.refs)}")
+        for off, r in self.stack:
+            fact = r.describe(f"fp{off:+d}")
+            if fact is not None:
+                parts.append(fact)
+        return " ".join(parts) if parts else "(entry)"
 
 
 def initial_state() -> AbstractState:
@@ -164,48 +313,180 @@ def initial_state() -> AbstractState:
     return AbstractState(regs=tuple(regs), stack=(), refs=frozenset())
 
 
+@dataclass(frozen=True)
+class VerifierStats:
+    """Exploration statistics for one accepted program."""
+
+    states_explored: int
+    checks_elided: int = 0
+    loops_bounded: int = 0
+    max_trip_count: int = 0
+
+
+@dataclass(frozen=True)
+class ProofAnnotations:
+    """Per-instruction proof table emitted on acceptance.
+
+    ``safe_mem`` / ``safe_div`` name the Load/Store and div/mod
+    instruction indices whose safety checks were discharged statically
+    on **every reachable path** — the VM skips the corresponding
+    runtime checks and the cost model charges the elided (lazy) cost.
+    ``loop_bounds`` maps each back-edge source to the number of
+    traversals the exploration proved finite.  ``facts`` (populated
+    with ``collect_facts=True``) holds rendered entry states per
+    instruction for the CLI listing.
+    """
+
+    safe_mem: FrozenSet[int] = frozenset()
+    safe_div: FrozenSet[int] = frozenset()
+    loop_bounds: Dict[int, int] = field(default_factory=dict)
+    states_explored: int = 0
+    facts: Dict[int, List[str]] = field(default_factory=dict)
+
+    @property
+    def checks_elided(self) -> int:
+        return len(self.safe_mem) + len(self.safe_div)
+
+
+@dataclass(frozen=True)
+class VerifiedProgram:
+    """An accepted program plus its proof annotations and stats."""
+
+    prog: Program
+    stats: VerifierStats
+    annotations: ProofAnnotations
+
+    @property
+    def states_explored(self) -> int:
+        return self.stats.states_explored
+
+    @property
+    def max_steps(self) -> int:
+        """Sound step budget for the VM: an accepted program's abstract
+        state graph is acyclic, so a concrete run takes at most one step
+        per explored abstract state."""
+        return self.stats.states_explored + len(self.prog) + 64
+
+
+class _Frame:
+    """One DFS frame: a program point plus its pending successors."""
+
+    __slots__ = ("pc", "state", "key", "succs", "idx")
+
+    def __init__(self, pc: int, state: AbstractState, key: Tuple) -> None:
+        self.pc = pc
+        self.state = state
+        self.key = key
+        self.succs: Optional[List[Tuple[int, AbstractState]]] = None
+        self.idx = 0
+
+
 class Verifier:
     """Verify a :class:`Program` against a kfunc registry."""
 
-    def __init__(self, registry: KfuncRegistry, prog_type: str = "xdp") -> None:
+    def __init__(
+        self,
+        registry: KfuncRegistry,
+        prog_type: str = "xdp",
+        max_states: int = MAX_STATES,
+        collect_facts: bool = False,
+    ) -> None:
         self.registry = registry
         self.prog_type = prog_type
+        self.max_states = max_states
+        self.collect_facts = collect_facts
 
     # -- public API ------------------------------------------------------
 
-    def verify(self, prog: Program) -> "VerifierStats":
-        """Raise :class:`VerifierError` if ``prog`` is unsafe."""
-        self._reject_back_edges(prog)
+    def verify(self, prog: Program) -> VerifiedProgram:
+        """Raise :class:`VerifierError` if ``prog`` is unsafe; return the
+        :class:`VerifiedProgram` proof table otherwise."""
+        self._safe_mem: Set[int] = set()
+        self._safe_div: Set[int] = set()
+        self._trips: Dict[int, int] = {}
+        facts: Dict[int, List[str]] = {}
         explored = 0
-        visited: Set[Tuple] = set()
-        worklist: List[Tuple[int, AbstractState]] = [(0, initial_state())]
-        while worklist:
-            pc, state = worklist.pop()
-            key = (pc, state.key())
-            if key in visited:
-                continue
-            visited.add(key)
-            explored += 1
-            if explored > MAX_STATES:
-                raise VerifierError("program too complex (state limit exceeded)")
-            if pc >= len(prog):
-                raise VerifierError("fell off the end of the program", pc)
-            for nxt_pc, nxt_state in self._step(prog, pc, state):
-                worklist.append((nxt_pc, nxt_state))
-        return VerifierStats(states_explored=explored)
+        black: Set[Tuple] = set()
+        gray: Set[Tuple] = set()
 
-    # -- structural checks -------------------------------------------------
+        state0 = initial_state()
+        root = _Frame(0, state0, (0, state0.key()))
+        frames: List[_Frame] = [root]
+        gray.add(root.key)
+        explored += 1
+        if self.collect_facts:
+            facts.setdefault(0, []).append(state0.describe())
+
+        try:
+            while frames:
+                fr = frames[-1]
+                if fr.succs is None:
+                    if fr.pc >= len(prog):
+                        raise VerifierError(
+                            "fell off the end of the program", fr.pc
+                        )
+                    fr.succs = self._step(prog, fr.pc, fr.state)
+                if fr.idx >= len(fr.succs):
+                    gray.discard(fr.key)
+                    black.add(fr.key)
+                    frames.pop()
+                    continue
+                nxt_pc, nxt_state = fr.succs[fr.idx]
+                fr.idx += 1
+                if nxt_pc <= fr.pc:
+                    self._trips[fr.pc] = self._trips.get(fr.pc, 0) + 1
+                key = (nxt_pc, nxt_state.key())
+                if key in gray:
+                    raise VerifierError(
+                        "possible unbounded loop: abstract state repeats "
+                        "on a back-edge (no provable progress)",
+                        fr.pc,
+                    )
+                if key in black:
+                    continue
+                explored += 1
+                if explored > self.max_states:
+                    raise VerifierError(
+                        "program too complex (state limit exceeded)"
+                    )
+                if self.collect_facts:
+                    entry = facts.setdefault(nxt_pc, [])
+                    if len(entry) < MAX_FACTS_PER_INSN:
+                        entry.append(nxt_state.describe())
+                gray.add(key)
+                frames.append(_Frame(nxt_pc, nxt_state, key))
+        except VerifierError as exc:
+            self._enrich_error(exc, prog, frames)
+            raise
+
+        annotations = ProofAnnotations(
+            safe_mem=frozenset(self._safe_mem),
+            safe_div=frozenset(self._safe_div),
+            loop_bounds=dict(self._trips),
+            states_explored=explored,
+            facts=facts,
+        )
+        stats = VerifierStats(
+            states_explored=explored,
+            checks_elided=annotations.checks_elided,
+            loops_bounded=len(self._trips),
+            max_trip_count=max(self._trips.values(), default=0),
+        )
+        return VerifiedProgram(prog=prog, stats=stats, annotations=annotations)
 
     @staticmethod
-    def _reject_back_edges(prog: Program) -> None:
-        for i, insn in enumerate(prog):
-            target = None
-            if isinstance(insn, Jmp):
-                target = insn.target
-            elif isinstance(insn, JmpIf):
-                target = insn.target
-            if target is not None and target <= i:
-                raise VerifierError("back-edge detected (possible unbounded loop)", i)
+    def _enrich_error(
+        exc: VerifierError, prog: Program, frames: List[_Frame]
+    ) -> None:
+        """Attach path diagnostics to a rejection (see ``--explain``)."""
+        if exc.path is None and frames:
+            exc.path = [fr.pc for fr in frames]
+        if exc.pc is not None and 0 <= exc.pc < len(prog) and exc.insn_text is None:
+            from .disasm import disassemble_one
+
+            exc.insn_text = disassemble_one(prog[exc.pc])
+        if exc.state_text is None and frames:
+            exc.state_text = frames[-1].state.describe()
 
     # -- abstract transfer --------------------------------------------------
 
@@ -252,67 +533,157 @@ class Verifier:
         if insn.op in ("div", "mod"):
             if src.kind != SCALAR:
                 raise VerifierError("division by a pointer", pc)
-            if src.const is None:
-                raise VerifierError("possible division by zero (unknown divisor)", pc)
             if src.const == 0:
                 raise VerifierError("division by zero", pc)
+            if not src.rng.is_nonzero:
+                raise VerifierError(
+                    "possible division by zero (divisor range includes 0)", pc
+                )
+            self._safe_div.add(pc)
 
-        # Pointer arithmetic: only ptr +/- known-constant scalar.
+        if insn.op in ("lsh", "rsh") and src.kind == SCALAR:
+            c = src.const
+            if c is not None and c > 63:
+                raise VerifierError(f"shift amount {c} out of range", pc)
+
+        # Pointer arithmetic: ptr +/- scalar with a tracked range.
         if dst.kind == PKT_END:
             raise VerifierError("arithmetic on ctx->data_end is not allowed", pc)
         if dst.is_pointer:
-            if insn.op not in ("add", "sub"):
-                raise VerifierError(f"invalid {insn.op} on pointer r{insn.dst}", pc)
-            if src.kind != SCALAR or src.const is None:
-                raise VerifierError(
-                    "pointer arithmetic with unknown scalar is not allowed", pc
-                )
-            if dst.maybe_null:
-                raise VerifierError(
-                    "arithmetic on possibly-NULL pointer before null check", pc
-                )
-            delta = src.const if insn.op == "add" else -src.const
-            return state.with_reg(insn.dst, replace(dst, off=dst.off + delta))
+            return state.with_reg(
+                insn.dst, self._pointer_alu(insn, dst, src, pc)
+            )
         if src.is_pointer:
             raise VerifierError("scalar op with pointer operand is not allowed", pc)
 
-        const: Optional[int] = None
-        if dst.const is not None and src.const is not None:
-            const = _eval_alu(insn.op, dst.const, src.const, pc)
-        return state.with_reg(insn.dst, scalar(const))
+        rng = None
+        if insn.op in ("lsh", "rsh") and src.rng.umax > 63:
+            # The VM masks shift amounts (& 63); result is unknown.
+            rng = unknown_range()
+        else:
+            from .tnum import alu_range
+
+            rng = alu_range(insn.op, dst.rng, src.rng)
+            if rng is None:
+                rng = unknown_range()
+        return state.with_reg(insn.dst, scalar_range(rng))
+
+    def _pointer_alu(self, insn: Alu, dst: Reg, src: Reg, pc: int) -> Reg:
+        if insn.op not in ("add", "sub"):
+            raise VerifierError(f"invalid {insn.op} on pointer r{insn.dst}", pc)
+        if src.kind != SCALAR:
+            raise VerifierError(
+                "pointer arithmetic with unknown scalar is not allowed", pc
+            )
+        if dst.maybe_null:
+            raise VerifierError(
+                "arithmetic on possibly-NULL pointer before null check", pc
+            )
+        c = src.const
+        if c is not None:
+            # Exact offsets never wrap: the VM's pointers carry plain
+            # integer offsets, so u64 immediates move the pointer by
+            # their full (canonical, non-negative) value.
+            delta = c if insn.op == "add" else -c
+            return replace(dst, off=dst.off + delta)
+        if insn.op != "add":
+            raise VerifierError(
+                "pointer subtraction of an unknown scalar is not allowed", pc
+            )
+        if dst.kind not in (PKT_PTR, STACK_PTR):
+            raise VerifierError(
+                "pointer arithmetic with unknown scalar is only allowed on "
+                "packet and stack pointers",
+                pc,
+            )
+        if src.rng.umax >= VAR_OFF_LIMIT:
+            raise VerifierError(
+                "pointer arithmetic with unknown scalar is not allowed "
+                f"(range [{src.rng.umin},{src.rng.umax}] is unbounded; "
+                "mask or bounds-check it first)",
+                pc,
+            )
+        from .tnum import alu_range
+
+        var = src.rng if dst.var is None else alu_range("add", dst.var, src.rng)
+        if var is None:
+            var = unknown_range()
+        # A new scalar joins the variable part: mint a fresh identity —
+        # earlier data_end proofs no longer cover this pointer.
+        return replace(dst, var=var, var_id=next(self._var_counter))
+
+    # -- memory access ------------------------------------------------------
 
     def _check_mem_access(
         self, base: Reg, off: int, pc: int, write: bool, state: AbstractState
     ) -> None:
+        """Prove one 8-byte access in-bounds; records the proof in the
+        annotation table (the access is then runtime-check elidable)."""
+        lo = base.off + off + base.var_min
+        hi = base.off + off + base.var_max
         if base.kind == STACK_PTR:
-            addr = base.off + off
-            if addr % ACCESS_SIZE:
-                raise VerifierError(f"misaligned stack access at fp{addr:+d}", pc)
-            if not (-STACK_SIZE <= addr <= -ACCESS_SIZE):
-                raise VerifierError(f"stack access out of bounds at fp{addr:+d}", pc)
+            if base.var is not None:
+                t = base.var.tnum
+                if (t.mask & (ACCESS_SIZE - 1)) or (
+                    (base.off + off + t.value) % ACCESS_SIZE
+                ):
+                    raise VerifierError(
+                        "variable stack access is not provably "
+                        f"{ACCESS_SIZE}-byte aligned",
+                        pc,
+                    )
+            elif lo % ACCESS_SIZE:
+                raise VerifierError(f"misaligned stack access at fp{lo:+d}", pc)
+            if not (-STACK_SIZE <= lo and hi <= -ACCESS_SIZE):
+                raise VerifierError(
+                    f"stack access out of bounds at fp[{lo:+d},{hi:+d}]", pc
+                )
+            self._safe_mem.add(pc)
             return
         if base.kind == PKT_END:
             raise VerifierError("cannot dereference ctx->data_end", pc)
         if base.kind == PKT_PTR:
-            addr = base.off + off
-            if addr < 0 or addr + ACCESS_SIZE > state.pkt_checked:
+            # Two ways to prove the upper bound: the global fact (bytes
+            # from `data` known accessible) covers the access's maximum
+            # position, or a data_end check on a pointer carrying the
+            # *same* variable offset proved `data + var + P <= data_end`
+            # with this access's fixed part ending at or before P.
+            in_bounds = hi + ACCESS_SIZE <= state.pkt_checked
+            if not in_bounds and base.var_id is not None:
+                proven = dict(state.pkt_vchecked).get(base.var_id, 0)
+                in_bounds = base.off + off + ACCESS_SIZE <= proven
+            if lo < 0 or not in_bounds:
                 raise VerifierError(
-                    "packet access out of bounds (missing data_end check)", pc
+                    "packet access out of bounds (missing data_end check "
+                    f"for bytes [{lo},{hi + ACCESS_SIZE}), "
+                    f"checked={state.pkt_checked})",
+                    pc,
                 )
+            self._safe_mem.add(pc)
             return
         if base.kind in (KPTR, CTX_PTR):
             if base.maybe_null:
                 raise VerifierError(
                     "possible NULL dereference (missing null check)", pc
                 )
-            region = KPTR_REGION_SIZE if base.kind == KPTR else CTX_REGION_SIZE
-            addr = base.off + off
-            if not (0 <= addr <= region - ACCESS_SIZE):
+            if base.kind == KPTR:
+                region = base.size if base.size is not None else KPTR_REGION_SIZE
+            else:
+                region = CTX_REGION_SIZE
+            if not (0 <= lo and hi <= region - ACCESS_SIZE):
                 raise VerifierError(
-                    f"kernel memory access out of bounds at +{addr}", pc
+                    f"kernel memory access out of bounds at +{lo}", pc
                 )
+            self._safe_mem.add(pc)
             return
         raise VerifierError(f"memory access via non-pointer ({base.kind})", pc)
+
+    def _stack_slots_in_range(
+        self, state: AbstractState, lo: int, hi: int
+    ) -> List[Tuple[int, Optional[Reg]]]:
+        return [
+            (a, state.stack_slot(a)) for a in range(lo, hi + 1, ACCESS_SIZE)
+        ]
 
     def _do_load(self, insn: Load, state: AbstractState, pc: int) -> AbstractState:
         base = state.reg(insn.base)
@@ -320,12 +691,32 @@ class Verifier:
             raise VerifierError(f"load via uninitialized register r{insn.base}", pc)
         self._check_mem_access(base, insn.off, pc, write=False, state=state)
         if base.kind == STACK_PTR:
-            slot = state.stack_slot(base.off + insn.off)
-            if slot is None:
-                raise VerifierError(
-                    f"read of uninitialized stack slot fp{base.off + insn.off:+d}", pc
-                )
-            return state.with_reg(insn.dst, slot)
+            lo = base.off + insn.off + base.var_min
+            hi = base.off + insn.off + base.var_max
+            if base.var is None:
+                slot = state.stack_slot(lo)
+                if slot is None:
+                    raise VerifierError(
+                        f"read of uninitialized stack slot fp{lo:+d}", pc
+                    )
+                return state.with_reg(insn.dst, slot)
+            # Variable-offset read: every reachable slot must be an
+            # initialized scalar (a spilled pointer read through a
+            # variable offset would type-confuse the program).
+            for addr, slot in self._stack_slots_in_range(state, lo, hi):
+                if slot is None:
+                    raise VerifierError(
+                        "variable-offset read of possibly-uninitialized "
+                        f"stack slot fp{addr:+d}",
+                        pc,
+                    )
+                if slot.kind != SCALAR:
+                    raise VerifierError(
+                        "variable-offset read may alias a spilled pointer "
+                        f"at fp{addr:+d}",
+                        pc,
+                    )
+            return state.with_reg(insn.dst, SCALAR_UNKNOWN)
         if base.kind == CTX_PTR:
             addr = base.off + insn.off
             if addr == CTX_OFF_DATA:
@@ -341,12 +732,37 @@ class Verifier:
         value = self._operand(insn.src, state, pc)
         self._check_mem_access(base, insn.off, pc, write=True, state=state)
         if base.kind == STACK_PTR:
-            return state.with_stack_slot(base.off + insn.off, value)
+            lo = base.off + insn.off + base.var_min
+            hi = base.off + insn.off + base.var_max
+            if base.var is None:
+                return state.with_stack_slot(lo, value)
+            # Weak update through a variable offset: the store lands in
+            # *one* of the slots, so no slot may hold a pointer (it
+            # could be silently corrupted) and every initialized scalar
+            # slot degrades to an unknown scalar.
+            if value.is_pointer:
+                raise VerifierError(
+                    "cannot spill a pointer through a variable offset", pc
+                )
+            new_state = state
+            for addr, slot in self._stack_slots_in_range(state, lo, hi):
+                if slot is None:
+                    continue
+                if slot.kind != SCALAR:
+                    raise VerifierError(
+                        "variable-offset store may corrupt a spilled "
+                        f"pointer at fp{addr:+d}",
+                        pc,
+                    )
+                new_state = new_state.with_stack_slot(addr, SCALAR_UNKNOWN)
+            return new_state
         if value.is_pointer:
             raise VerifierError(
                 "cannot store a pointer into kernel memory (use bpf_kptr_xchg)", pc
             )
         return state
+
+    # -- calls --------------------------------------------------------------
 
     def _do_call(self, insn: Call, state: AbstractState, pc: int) -> AbstractState:
         meta = self.registry.get(insn.func)
@@ -357,9 +773,16 @@ class Verifier:
                 f"kfunc {insn.func!r} not allowed for {self.prog_type} programs", pc
             )
         state = self._check_call_args(meta, state, pc)
+        # The declared size constant must be read before the call
+        # clobbers the argument registers.
+        kptr_size = None
+        if meta.ret == RET_KPTR and meta.size_arg is not None:
+            c = state.reg(R1 + meta.size_arg).const
+            if c is not None:
+                kptr_size = min(c, KPTR_REGION_SIZE)
         state = self._apply_release(meta, state, pc)
         state = self._clobber_caller_saved(state)
-        return self._apply_return(meta, state, pc)
+        return self._apply_return(meta, state, pc, kptr_size)
 
     def _check_call_args(
         self, meta: KfuncMeta, state: AbstractState, pc: int
@@ -420,7 +843,12 @@ class Verifier:
         stack = tuple(
             (off, Reg() if r.ref_id == released else r) for off, r in state.stack
         )
-        return AbstractState(regs=regs, stack=stack, refs=state.refs - {released})
+        return AbstractState(
+            regs=regs,
+            stack=stack,
+            refs=state.refs - {released},
+            pkt_checked=state.pkt_checked,
+        )
 
     @staticmethod
     def _clobber_caller_saved(state: AbstractState) -> AbstractState:
@@ -430,9 +858,11 @@ class Verifier:
         return replace(state, regs=tuple(regs))
 
     _ref_counter = itertools.count(1)
+    _var_counter = itertools.count(1)
 
     def _apply_return(
-        self, meta: KfuncMeta, state: AbstractState, pc: int
+        self, meta: KfuncMeta, state: AbstractState, pc: int,
+        kptr_size: Optional[int] = None,
     ) -> AbstractState:
         if meta.ret == RET_SCALAR:
             return state.with_reg(R0, SCALAR_UNKNOWN)
@@ -444,8 +874,11 @@ class Verifier:
         if meta.acquires:
             ref_id = next(self._ref_counter)
             refs = refs | {ref_id}
-        r0 = Reg(kind=KPTR, maybe_null=meta.may_return_null, ref_id=ref_id)
+        r0 = Reg(kind=KPTR, maybe_null=meta.may_return_null, ref_id=ref_id,
+                 size=kptr_size)
         return replace(state.with_reg(R0, r0), refs=refs)
+
+    # -- branches -----------------------------------------------------------
 
     def _do_jmp_if(
         self, insn: JmpIf, state: AbstractState, pc: int
@@ -455,44 +888,75 @@ class Verifier:
             raise VerifierError(f"branch on uninitialized register r{insn.lhs}", pc)
         rhs = self._operand(insn.rhs, state, pc)
 
-        # Packet-bounds refinement: `if (data + N) <op> data_end`.
+        # Packet-bounds refinement: `(data + N) <op> data_end`, either
+        # orientation.
         if lhs.kind == PKT_PTR and rhs.kind == PKT_END:
-            # lhs is data+off; proving lhs <= data_end makes `off` bytes
-            # of the packet accessible.
-            if insn.op in ("gt", "ge"):
-                # Taken: out of bounds (no info). Fallthrough: in bounds.
-                ok = replace(state, pkt_checked=max(state.pkt_checked, lhs.off))
-                return [(insn.target, state), (pc + 1, ok)]
-            if insn.op in ("le", "lt"):
-                ok = replace(state, pkt_checked=max(state.pkt_checked, lhs.off))
-                return [(insn.target, ok), (pc + 1, state)]
-            raise VerifierError(
-                "packet bound checks must use lt/le/gt/ge against data_end", pc
+            return self._pkt_end_cmp(insn.op, lhs, insn.target, pc, state)
+        if lhs.kind == PKT_END and rhs.kind == PKT_PTR:
+            return self._pkt_end_cmp(
+                _FLIP_CMP[insn.op], rhs, insn.target, pc, state
             )
         if rhs.kind == PKT_END or lhs.kind == PKT_END:
             raise VerifierError(
                 "data_end may only be compared against a packet pointer", pc
             )
 
-        # NULL-check refinement: `if (ptr ==/!= 0)`.
+        # NULL-check refinement: `if (ptr ==/!= 0)`.  Successors are
+        # ordered fall-through first (like the kernel's DFS, which
+        # pushes the branch and continues straight-line).
         if lhs.is_pointer and rhs.kind == SCALAR and rhs.const == 0:
             if insn.op == "eq":
                 null_state = self._mark_null(state, insn.lhs, pc)
                 ok_state = state.with_reg(insn.lhs, replace(lhs, maybe_null=False))
-                return [(insn.target, null_state), (pc + 1, ok_state)]
+                return [(pc + 1, ok_state), (insn.target, null_state)]
             if insn.op == "ne":
                 ok_state = state.with_reg(insn.lhs, replace(lhs, maybe_null=False))
                 null_state = self._mark_null(state, insn.lhs, pc)
-                return [(insn.target, ok_state), (pc + 1, null_state)]
+                return [(pc + 1, null_state), (insn.target, ok_state)]
             raise VerifierError("pointer comparison must use eq/ne against 0", pc)
         if lhs.is_pointer or rhs.is_pointer:
             raise VerifierError("pointer comparison with non-zero value", pc)
 
-        # Constant folding: take only the feasible branch when both known.
-        if lhs.const is not None and rhs.const is not None:
-            taken = _eval_cond(insn.op, lhs.const, rhs.const)
+        # Scalar comparison: refine ranges on both outcomes, pruning
+        # statically infeasible branches (subsumes constant folding).
+        if isinstance(insn.rhs, int) and insn.rhs == insn.lhs:
+            taken = insn.op in ("eq", "le", "ge")
             return [(insn.target if taken else pc + 1, state)]
-        return [(insn.target, state), (pc + 1, state)]
+        out: List[Tuple[int, AbstractState]] = []
+        for taken, nxt in ((False, pc + 1), (True, insn.target)):
+            refined = refine_cmp(insn.op, lhs.rng, rhs.rng, taken)
+            if refined is None:
+                continue
+            new_lhs, new_rhs = refined
+            st = state.with_reg(insn.lhs, replace(lhs, rng=new_lhs))
+            if isinstance(insn.rhs, int):
+                st = st.with_reg(insn.rhs, replace(rhs, rng=new_rhs))
+            out.append((nxt, st))
+        if not out:
+            raise VerifierError("comparison with no feasible outcome", pc)
+        return out
+
+    def _pkt_end_cmp(
+        self, op: str, ptr: Reg, target: int, pc: int, state: AbstractState
+    ) -> List[Tuple[int, AbstractState]]:
+        """`ptr <op> data_end`: the in-bounds branch proves that at
+        least ``ptr.off + ptr.var_min`` bytes of packet are accessible
+        (the *minimum* possible pointer position — sound for pointers
+        carrying a variable offset)."""
+        proven = max(0, ptr.off + ptr.var_min, state.pkt_checked)
+        ok = replace(state, pkt_checked=proven)
+        if ptr.var_id is not None and ptr.off > 0:
+            vchecked = dict(state.pkt_vchecked)
+            vchecked[ptr.var_id] = max(vchecked.get(ptr.var_id, 0), ptr.off)
+            ok = replace(ok, pkt_vchecked=tuple(sorted(vchecked.items())))
+        if op in ("gt", "ge"):
+            # Taken: out of bounds (no info). Fallthrough: in bounds.
+            return [(pc + 1, ok), (target, state)]
+        if op in ("le", "lt"):
+            return [(pc + 1, state), (target, ok)]
+        raise VerifierError(
+            "packet bound checks must use lt/le/gt/ge against data_end", pc
+        )
 
     def _mark_null(self, state: AbstractState, reg_idx: int, pc: int) -> AbstractState:
         """On the NULL branch the pointer is dead; an acquired ref that
@@ -514,46 +978,8 @@ class Verifier:
             )
 
 
-@dataclass(frozen=True)
-class VerifierStats:
-    states_explored: int
-
-
-def _eval_alu(op: str, a: int, b: int, pc: int) -> int:
-    mask = (1 << 64) - 1
-    if op == "add":
-        return (a + b) & mask
-    if op == "sub":
-        return (a - b) & mask
-    if op == "mul":
-        return (a * b) & mask
-    if op == "div":
-        return (a & mask) // (b & mask)
-    if op == "mod":
-        return (a & mask) % (b & mask)
-    if op == "and":
-        return a & b & mask
-    if op == "or":
-        return (a | b) & mask
-    if op == "xor":
-        return (a ^ b) & mask
-    if op == "lsh":
-        if not 0 <= b < 64:
-            raise VerifierError(f"shift amount {b} out of range", pc)
-        return (a << b) & mask
-    if op == "rsh":
-        if not 0 <= b < 64:
-            raise VerifierError(f"shift amount {b} out of range", pc)
-        return (a & mask) >> b
-    raise VerifierError(f"unknown ALU op {op!r}", pc)
-
-
 def _eval_cond(op: str, a: int, b: int) -> bool:
-    return {
-        "eq": a == b,
-        "ne": a != b,
-        "lt": a < b,
-        "le": a <= b,
-        "gt": a > b,
-        "ge": a >= b,
-    }[op]
+    """Concrete unsigned comparison (kept for tests and tools)."""
+    result = eval_cmp(op, const_range(a), const_range(b))
+    assert result is not None
+    return result

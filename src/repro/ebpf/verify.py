@@ -1,0 +1,263 @@
+"""Static-analysis CLI: ``python -m repro.ebpf.verify``.
+
+Verifies IR programs — the bundled examples of :mod:`repro.ebpf.progs`
+or a textual-IR file (:mod:`repro.ebpf.asm`) — and reports what the
+range-aware verifier proved:
+
+- a disasm-interleaved listing with per-instruction range facts
+  (``--facts``; on by default for a single program),
+- rejection diagnostics with the offending path (``--explain``),
+- a JSON report of verifier stats: states explored, checks elided,
+  loops bounded (``--json``).
+
+``--strict`` exits non-zero when any bundled program's verdict differs
+from its expected accept/reject or an accepted program elides zero
+checks it was expected to elide — the CI ``verify-smoke`` contract.
+
+Examples::
+
+    python -m repro.ebpf.verify --list
+    python -m repro.ebpf.verify --program pkt_guarded_read
+    python -m repro.ebpf.verify --asm prog.s --explain
+    python -m repro.ebpf.verify --json --strict
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from .asm import AsmError, assemble
+from .disasm import disassemble_one
+from .insn import Program
+from .kfunc_meta import default_registry
+from .progs import ProgCase, bundled_cases, get_case
+from .verifier import VerifiedProgram, Verifier, VerifierError
+
+
+def _verify_one(
+    prog: Program,
+    verifier: Verifier,
+) -> Dict[str, Any]:
+    """Run one program through the verifier; normalized result record."""
+    try:
+        vp = verifier.verify(prog)
+    except VerifierError as exc:
+        return {
+            "name": prog.name,
+            "verdict": "reject",
+            "error": str(exc),
+            "error_pc": exc.pc,
+            "explain": exc.explain(),
+        }
+    return {
+        "name": prog.name,
+        "verdict": "accept",
+        "states_explored": vp.stats.states_explored,
+        "checks_elided": vp.stats.checks_elided,
+        "loops_bounded": vp.stats.loops_bounded,
+        "max_trip_count": vp.stats.max_trip_count,
+        "safe_mem": sorted(vp.annotations.safe_mem),
+        "safe_div": sorted(vp.annotations.safe_div),
+        "loop_bounds": {str(k): v for k, v in sorted(
+            vp.annotations.loop_bounds.items())},
+        "_verified": vp,
+    }
+
+
+def _print_facts(prog: Program, vp: Optional[VerifiedProgram],
+                 facts: Dict[int, List[str]]) -> None:
+    """Disassembly interleaved with the verifier's per-insn range facts."""
+    ann = vp.annotations if vp is not None else None
+    print(f"; program {prog.name} ({len(prog)} insns)")
+    for i, insn in enumerate(prog):
+        tags = []
+        if ann is not None:
+            if i in ann.safe_mem:
+                tags.append("mem-check elided")
+            if i in ann.safe_div:
+                tags.append("div-check elided")
+            if i in ann.loop_bounds:
+                tags.append(f"back-edge x{ann.loop_bounds[i]}")
+        tag = f"   ; {', '.join(tags)}" if tags else ""
+        print(f"{i:4d}: {disassemble_one(insn)}{tag}")
+        for state_text in facts.get(i, []):
+            print(f"      | {state_text}")
+    print()
+
+
+def _print_result(result: Dict[str, Any], case: Optional[ProgCase],
+                  explain: bool) -> None:
+    name = result["name"]
+    if result["verdict"] == "accept":
+        stats = (
+            f"{result['states_explored']} states, "
+            f"{result['checks_elided']} checks elided, "
+            f"{result['loops_bounded']} loops bounded"
+        )
+        expected = "" if case is None or case.accept else "  [UNEXPECTED]"
+        print(f"ACCEPT  {name}  ({stats}){expected}")
+    else:
+        expected = "" if case is None or not case.accept else "  [UNEXPECTED]"
+        print(f"REJECT  {name}: {result['error']}{expected}")
+        if explain:
+            for line in result["explain"].splitlines()[1:]:
+                print(f"        {line}")
+
+
+def _unexpected(result: Dict[str, Any], case: ProgCase) -> Optional[str]:
+    """Why this result violates the case's contract, or None."""
+    accepted = result["verdict"] == "accept"
+    if accepted != case.accept:
+        want = "accept" if case.accept else "reject"
+        return f"{case.name}: expected {want}, got {result['verdict']}"
+    if not accepted and case.reject_match and (
+        case.reject_match not in result["error"]
+    ):
+        return (
+            f"{case.name}: rejection {result['error']!r} does not mention "
+            f"{case.reject_match!r}"
+        )
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.ebpf.verify",
+        description="Verify eBPF-IR programs with the range-aware verifier.",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list bundled example programs and exit",
+    )
+    parser.add_argument(
+        "--program", action="append", default=None, metavar="NAME",
+        help="verify a bundled program by name (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--asm", metavar="FILE",
+        help="assemble and verify a textual-IR file ('-' for stdin)",
+    )
+    parser.add_argument(
+        "--facts", action="store_true",
+        help="print disasm interleaved with per-insn range facts "
+             "(default when verifying a single program)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print full rejection diagnostics (path + abstract state)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a JSON report instead of text",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on any unexpected accept/reject or a bundled "
+             "accept that elides no checks where elision is expected",
+    )
+    parser.add_argument(
+        "--max-states", type=int, default=None,
+        help="override the verifier's state-exploration limit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for case in bundled_cases():
+            verdict = "accept" if case.accept else "reject"
+            print(f"{case.name:32s} {verdict:7s} {case.summary}")
+        return 0
+
+    registry = default_registry()
+    kwargs: Dict[str, Any] = {"collect_facts": True}
+    if args.max_states is not None:
+        kwargs["max_states"] = args.max_states
+    verifier = Verifier(registry, **kwargs)
+
+    if args.asm:
+        text = (
+            sys.stdin.read() if args.asm == "-"
+            else open(args.asm, encoding="utf-8").read()
+        )
+        try:
+            prog = assemble(text, name=args.asm if args.asm != "-" else "stdin")
+        except AsmError as exc:
+            print(f"parse error: {exc}", file=sys.stderr)
+            return 2
+        result = _verify_one(prog, verifier)
+        vp = result.pop("_verified", None)
+        if args.json:
+            print(json.dumps(result, indent=2))
+        else:
+            _print_facts(prog, vp, getattr(vp, "annotations", None).facts
+                         if vp is not None else {})
+            _print_result(result, None, args.explain or True)
+        return 0 if result["verdict"] == "accept" else 1
+
+    if args.program:
+        try:
+            cases = [get_case(name) for name in args.program]
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        cases = list(bundled_cases())
+    show_facts = args.facts or len(cases) == 1
+
+    report: Dict[str, Any] = {"programs": [], "unexpected": []}
+    for case in cases:
+        result = _verify_one(case.prog, verifier)
+        vp = result.pop("_verified", None)
+        result["expected"] = "accept" if case.accept else "reject"
+        problem = _unexpected(result, case)
+        if problem is None and case.accept and vp is not None:
+            # Elision regression guard: every accepted bundled program
+            # proves at least the checks its listing marks elidable.
+            if vp.stats.checks_elided == 0 and (
+                case.name not in ("loop_counted", "range_dead_branch")
+            ):
+                problem = f"{case.name}: accepted but elided zero checks"
+        if problem is not None:
+            report["unexpected"].append(problem)
+        report["programs"].append(result)
+        if not args.json:
+            if show_facts:
+                _print_facts(case.prog, vp,
+                             vp.annotations.facts if vp is not None else {})
+            _print_result(result, case, args.explain)
+
+    n = len(report["programs"])
+    accepted = sum(1 for r in report["programs"] if r["verdict"] == "accept")
+    report["summary"] = {
+        "programs": n,
+        "accepted": accepted,
+        "rejected": n - accepted,
+        "states_explored": sum(
+            r.get("states_explored", 0) for r in report["programs"]),
+        "checks_elided": sum(
+            r.get("checks_elided", 0) for r in report["programs"]),
+        "loops_bounded": sum(
+            r.get("loops_bounded", 0) for r in report["programs"]),
+        "unexpected": len(report["unexpected"]),
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        s = report["summary"]
+        print(
+            f"\n{s['programs']} programs: {s['accepted']} accepted, "
+            f"{s['rejected']} rejected; {s['states_explored']} states "
+            f"explored, {s['checks_elided']} checks elided, "
+            f"{s['loops_bounded']} loops bounded"
+        )
+        for problem in report["unexpected"]:
+            print(f"UNEXPECTED: {problem}", file=sys.stderr)
+    if args.strict and report["unexpected"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,18 @@ kfunc implementations.  It exists to demonstrate that programs the
 verifier accepts actually run safely (and that its runtime assertions
 agree with the verifier's static judgments) — the performance
 simulation does not run NFs on this VM.
+
+**Check elision.**  Handing the VM a :class:`~repro.ebpf.verifier.
+VerifiedProgram` (or its :class:`~repro.ebpf.verifier.ProofAnnotations`)
+lets it *skip* the runtime safety checks the verifier already
+discharged statically: bounds checks on proven Load/Store instructions
+and divisor tests on proven div/mod — the paper's lazy-checking payoff
+(§4.1, §4.4), where static proofs buy back hot-path cycles.  The
+``elide_checks`` switch is the ablation knob: with proofs attached but
+``elide_checks=False`` every check still runs (and is charged), so
+benchmarks can compare checked vs elided cycle totals on bit-identical
+executions.  :class:`VmStats` reports steps, checks performed/elided,
+and the cycles charged to each.
 """
 
 from __future__ import annotations
@@ -13,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Union
 
+from .cost_model import Category, CostModel, Cycles, DEFAULT_COSTS
 from .insn import (
     Alu,
     Call,
@@ -66,14 +79,41 @@ class Pointer:
 Value = Union[int, Pointer]
 
 
+@dataclass
+class VmStats:
+    """Execution statistics for one :meth:`Vm.run`."""
+
+    steps: int = 0
+    checks_performed: int = 0
+    checks_elided: int = 0
+    insn_cycles: int = 0
+    check_cycles: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.insn_cycles + self.check_cycles
+
+
 class Vm:
-    """Interpreter instance; one per program run."""
+    """Interpreter instance; one per program run.
+
+    ``proofs`` accepts a ``VerifiedProgram`` or its ``ProofAnnotations``;
+    with ``elide_checks=True`` (default) statically proven checks are
+    skipped.  ``cycles`` (a :class:`~repro.ebpf.cost_model.Cycles`
+    counter) enables cycle charging per ``costs``: every interpreted
+    instruction costs ``insn_exec``, every *performed* bounds check
+    ``bounds_check``, every performed divisor test ``div_check``.
+    """
 
     def __init__(
         self,
         registry: KfuncRegistry,
         ctx_size: int = 256,
         packet: bytes = b"",
+        proofs: Optional[Any] = None,
+        costs: CostModel = DEFAULT_COSTS,
+        cycles: Optional[Cycles] = None,
+        elide_checks: bool = True,
     ) -> None:
         self.registry = registry
         self.stack = bytearray(STACK_SIZE)
@@ -85,6 +125,17 @@ class Vm:
         # Pointer spills: stack slots holding pointers are tracked by
         # identity (the verifier tracks them symbolically the same way).
         self._ptr_slots: Dict[int, Pointer] = {}
+        ann = getattr(proofs, "annotations", proofs)
+        self.proofs = ann
+        self.costs = costs
+        self.cycles = cycles
+        self.stats = VmStats()
+        if ann is not None and elide_checks:
+            self._safe_mem = ann.safe_mem
+            self._safe_div = ann.safe_div
+        else:
+            self._safe_mem = frozenset()
+            self._safe_div = frozenset()
 
     # -- memory ------------------------------------------------------------
 
@@ -112,6 +163,18 @@ class Vm:
             raise VmFault(f"kernel object access out of bounds at +{ptr.off}")
         return obj.data, ptr.off
 
+    def _buffer_unchecked(self, ptr: Pointer) -> (bytearray, int):
+        """Resolve a pointer with *no* safety checks — only reachable
+        for accesses the verifier proved in-bounds (and objects it
+        proved alive)."""
+        if ptr.region == "stack":
+            return self.stack, STACK_SIZE + ptr.off
+        if ptr.region == "ctx":
+            return self.ctx, ptr.off
+        if ptr.region == "pkt":
+            return self.packet, ptr.off
+        return ptr.region.data, ptr.off
+
     def read_u64(self, ptr: Pointer) -> int:
         buf, addr = self._buffer_for(ptr)
         return int.from_bytes(buf[addr : addr + 8], "little")
@@ -120,24 +183,52 @@ class Vm:
         buf, addr = self._buffer_for(ptr)
         buf[addr : addr + 8] = (value & MASK64).to_bytes(8, "little")
 
+    def _mem_checked(self, pc: int) -> bool:
+        """Decide + account one memory access's bounds check."""
+        if pc in self._safe_mem:
+            self.stats.checks_elided += 1
+            return False
+        self.stats.checks_performed += 1
+        self.stats.check_cycles += self.costs.bounds_check
+        return True
+
     # -- execution -----------------------------------------------------------
 
     def run(self, prog: Program, max_steps: Optional[int] = None) -> int:
         """Execute ``prog``; returns r0 at exit."""
         if max_steps is None:
-            max_steps = len(prog) * 4 + 64
+            if self.proofs is not None:
+                # An accepted program's abstract state graph is acyclic:
+                # a concrete run takes at most one step per explored
+                # abstract state.
+                max_steps = self.proofs.states_explored + len(prog) + 64
+            else:
+                max_steps = len(prog) * 4 + 64
         self.regs = [0] * N_REGS
         self.regs[R1] = Pointer("ctx")
         self.regs[R10] = Pointer("stack")
         pc = 0
-        for _ in range(max_steps):
-            insn = prog[pc]
-            if isinstance(insn, Exit):
-                r0 = self.regs[R0]
-                if isinstance(r0, Pointer):
-                    raise VmFault("exit with pointer in R0")
-                return r0 & MASK64
-            pc = self._step(insn, pc)
+        steps = 0
+        try:
+            for _ in range(max_steps):
+                insn = prog[pc]
+                if isinstance(insn, Exit):
+                    r0 = self.regs[R0]
+                    if isinstance(r0, Pointer):
+                        raise VmFault("exit with pointer in R0")
+                    return r0 & MASK64
+                steps += 1
+                pc = self._step(insn, pc)
+        finally:
+            self.stats.steps += steps
+            self.stats.insn_cycles += steps * self.costs.insn_exec
+            if self.cycles is not None:
+                self.cycles.charge(steps * self.costs.insn_exec, Category.OTHER)
+                if self.stats.check_cycles:
+                    self.cycles.charge(
+                        self.stats.check_cycles, Category.FRAMEWORK
+                    )
+                    self.stats.check_cycles = 0
         raise VmFault("step limit exceeded (runaway program)")
 
     def _operand(self, src: Union[int, Imm]) -> Value:
@@ -150,7 +241,7 @@ class Vm:
             self.regs[insn.dst] = self._operand(insn.src)
             return pc + 1
         if isinstance(insn, Alu):
-            self._do_alu(insn)
+            self._do_alu(insn, pc)
             return pc + 1
         if isinstance(insn, Load):
             base = self.regs[insn.base]
@@ -163,8 +254,11 @@ class Vm:
                 self.regs[insn.dst] = Pointer("pkt", len(self.packet))
             elif target.region == "stack" and target.off in self._ptr_slots:
                 self.regs[insn.dst] = self._ptr_slots[target.off]
-            else:
+            elif self._mem_checked(pc):
                 self.regs[insn.dst] = self.read_u64(target)
+            else:
+                buf, addr = self._buffer_unchecked(target)
+                self.regs[insn.dst] = int.from_bytes(buf[addr : addr + 8], "little")
             return pc + 1
         if isinstance(insn, Store):
             base = self.regs[insn.base]
@@ -175,12 +269,17 @@ class Vm:
             if isinstance(value, Pointer):
                 if target.region != "stack":
                     raise VmFault("cannot store pointer into memory")
-                self._buffer_for(target)  # bounds check
+                if self._mem_checked(pc):
+                    self._buffer_for(target)  # bounds check
                 self._ptr_slots[target.off] = value
             else:
                 if target.region == "stack":
                     self._ptr_slots.pop(target.off, None)
-                self.write_u64(target, value)
+                if self._mem_checked(pc):
+                    self.write_u64(target, value)
+                else:
+                    buf, addr = self._buffer_unchecked(target)
+                    buf[addr : addr + 8] = (value & MASK64).to_bytes(8, "little")
             return pc + 1
         if isinstance(insn, Call):
             self._do_call(insn)
@@ -191,7 +290,7 @@ class Vm:
             return self._do_jmp_if(insn, pc)
         raise VmFault(f"unknown instruction {insn!r}")
 
-    def _do_alu(self, insn: Alu) -> None:
+    def _do_alu(self, insn: Alu, pc: int) -> None:
         dst = self.regs[insn.dst]
         src = self._operand(insn.src)
         if isinstance(dst, Pointer):
@@ -212,12 +311,22 @@ class Vm:
         elif insn.op == "mul":
             out = a * b
         elif insn.op == "div":
-            if b == 0:
-                raise VmFault("division by zero")
+            if pc in self._safe_div:
+                self.stats.checks_elided += 1
+            else:
+                self.stats.checks_performed += 1
+                self.stats.check_cycles += self.costs.div_check
+                if b == 0:
+                    raise VmFault("division by zero")
             out = a // b
         elif insn.op == "mod":
-            if b == 0:
-                raise VmFault("modulo by zero")
+            if pc in self._safe_div:
+                self.stats.checks_elided += 1
+            else:
+                self.stats.checks_performed += 1
+                self.stats.check_cycles += self.costs.div_check
+                if b == 0:
+                    raise VmFault("modulo by zero")
             out = a % b
         elif insn.op == "and":
             out = a & b

@@ -16,6 +16,7 @@ from repro.ebpf.insn import (
     R10,
 )
 from repro.ebpf.kfunc_meta import (
+    ARG_CONST,
     ARG_KPTR,
     ARG_SCALAR,
     KF_ACQUIRE,
@@ -25,6 +26,7 @@ from repro.ebpf.kfunc_meta import (
     KfuncRegistry,
     RET_KPTR,
     RET_SCALAR,
+    VALID_PROG_TYPES,
     default_registry,
 )
 
@@ -165,3 +167,51 @@ class TestEnetstlRegistry:
 
         reg = enetstl_registry()
         assert reg.get("node_alloc").prog_types == frozenset({"xdp", "tc"})
+
+
+class TestRegistrationValidation:
+    """Metadata constraints enforced when a kfunc is registered —
+    malformed metas never reach the verifier."""
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            KfuncMeta(name="")
+
+    def test_release_arg_without_release_flag_rejected(self):
+        with pytest.raises(ValueError, match="without KF_RELEASE"):
+            KfuncMeta(name="f", args=(ARG_SCALAR, ARG_KPTR), release_arg=1)
+
+    def test_size_arg_requires_kptr_return(self):
+        with pytest.raises(ValueError, match="kptr return"):
+            KfuncMeta(name="f", args=(ARG_CONST,), ret=RET_SCALAR, size_arg=0)
+
+    def test_size_arg_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            KfuncMeta(name="f", args=(ARG_CONST,), ret=RET_KPTR, size_arg=2)
+
+    def test_size_arg_must_be_const(self):
+        with pytest.raises(ValueError, match="ARG_CONST"):
+            KfuncMeta(name="f", args=(ARG_SCALAR,), ret=RET_KPTR, size_arg=0)
+
+    def test_size_arg_valid_shape_accepted(self):
+        meta = KfuncMeta(name="f", args=(ARG_CONST,), ret=RET_KPTR, size_arg=0)
+        assert meta.size_arg == 0
+
+    def test_empty_prog_types_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            KfuncMeta(name="f", prog_types=frozenset())
+
+    def test_unknown_prog_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown program types"):
+            KfuncMeta(name="f", prog_types=frozenset({"quantum_filter"}))
+
+    def test_known_prog_types_accepted(self):
+        meta = KfuncMeta(name="f", prog_types=frozenset(VALID_PROG_TYPES))
+        assert meta.prog_types == VALID_PROG_TYPES
+
+    def test_non_callable_impl_rejected(self):
+        with pytest.raises(ValueError, match="callable"):
+            KfuncMeta(name="f", impl=42)
+
+    def test_obj_new_declares_size_arg(self):
+        assert default_registry().get("bpf_obj_new").size_arg == 0

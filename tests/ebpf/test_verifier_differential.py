@@ -1,0 +1,251 @@
+"""Differential fuzz: the verifier's soundness and elision contracts.
+
+A seeded generator emits programs biased toward the verifier's accept
+frontier (guarded packet reads, counted loops, masked divisors, stack
+tables, kptr lifecycles) plus mutated and junk variants that land on
+the reject side.  For every *accepted* program, on several random
+packets:
+
+1. **Soundness** — the VM, with every runtime check still performed,
+   never raises :class:`VmFault`.
+2. **Elision transparency** — the same program with proven checks
+   elided produces a bit-identical machine state: same r0, same final
+   stack bytes, same packet bytes, same step count.
+
+The sweep size is ``REPRO_FUZZ_PROGRAMS`` (default 400 for tier-1; CI
+runs the ``fuzz-sweep`` job at 2000+).  Everything derives from one
+seed, so failures replay exactly.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.ebpf.insn import (
+    Alu,
+    Call,
+    Exit,
+    Imm,
+    JmpIf,
+    Load,
+    Mov,
+    Program,
+    Store,
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R10,
+)
+from repro.ebpf.progs import runnable_registry
+from repro.ebpf.verifier import Verifier, VerifierError
+from repro.ebpf.vm import Vm, VmFault
+
+N_PROGRAMS = int(os.environ.get("REPRO_FUZZ_PROGRAMS", "400"))
+SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260806"))
+PACKETS_PER_PROGRAM = 3
+
+ALU_OPS = ["add", "sub", "mul", "div", "mod", "and", "or", "xor", "lsh", "rsh"]
+JMP_OPS = ["eq", "ne", "lt", "le", "gt", "ge"]
+
+
+# -- program templates ------------------------------------------------------
+
+
+def _t_guarded_pkt(rng: random.Random):
+    """data_end-guarded load; sometimes the guard is too small."""
+    need = rng.choice([8, 16, 24, 32])
+    # Biased toward safe offsets; occasionally past the guard (reject).
+    off = rng.choice([0, 8, need - 8, need - 8, need])
+    return [
+        Load(R2, R1, 0),
+        Load(R3, R1, 8),
+        Mov(R4, R2),
+        Alu("add", R4, Imm(need)),
+        JmpIf("gt", R4, R3, 7),
+        Load(R0, R2, off),
+        Exit(),
+        Mov(R0, Imm(1)),
+        Exit(),
+    ]
+
+
+def _t_counted_loop(rng: random.Random):
+    """Counter-driven loop; sometimes the increment is dropped."""
+    trips = rng.randint(1, 20)
+    step = [Alu("add", R6, Imm(1))] if rng.random() > 0.15 else [Mov(R7, R6)]
+    body = [
+        Mov(R6, Imm(0)),
+        Mov(R7, Imm(0)),
+        Alu("add", R7, R6),
+        *step,
+        JmpIf("lt", R6, Imm(trips), 2),
+        Mov(R0, R7),
+        Alu("and", R0, Imm(3)),
+        Exit(),
+    ]
+    return body
+
+
+def _t_masked_div(rng: random.Random):
+    """Divisor masked then offset; offset 0 leaves 0 in range (reject)."""
+    mask = (1 << rng.randint(1, 5)) - 1
+    bump = rng.choice([0, 1, 1, 2, 3])
+    op = rng.choice(["div", "mod"])
+    return [
+        Call("bpf_get_prandom_u32"),
+        Mov(R6, R0),
+        Alu("and", R6, Imm(mask)),
+        Alu("add", R6, Imm(bump)),
+        Mov(R0, Imm(rng.randint(0, 10_000))),
+        Alu(op, R0, R6),
+        Alu("and", R0, Imm(3)),
+        Exit(),
+    ]
+
+
+def _t_stack_table(rng: random.Random):
+    """Init n slots, variable-offset read; sometimes reads past them."""
+    n = rng.randint(1, 4)
+    mask = rng.choice([8 * (n - 1), 8 * n]) & ~7
+    insns = [Store(R10, -8 * (i + 1), Imm(i * 11)) for i in range(n)]
+    insns += [
+        Call("bpf_get_prandom_u32"),
+        Alu("and", R0, Imm(mask)),
+        Mov(R2, R10),
+        Alu("sub", R2, Imm(8 * n)),
+        Alu("add", R2, R0),
+        Load(R0, R2, 0),
+        Alu("and", R0, Imm(3)),
+        Exit(),
+    ]
+    return insns
+
+
+def _t_kptr(rng: random.Random):
+    """Alloc / null-check / touch / release; sometimes leaks."""
+    size = rng.choice([8, 16, 64])
+    off = rng.choice([0, 8, size - 8, size])
+    release = rng.random() > 0.2
+    tail = [Mov(R1, R6), Call("bpf_obj_drop")] if release else [Mov(R5, R6)]
+    end = 5 + len(tail) + 2
+    return [
+        Mov(R1, Imm(size)),
+        Call("bpf_obj_new"),
+        JmpIf("eq", R0, Imm(0), end),
+        Mov(R6, R0),
+        Store(R6, off, Imm(7)),
+        *tail,
+        Mov(R0, Imm(2)),
+        Exit(),
+        Mov(R0, Imm(1)),
+        Exit(),
+    ]
+
+
+def _t_junk(rng: random.Random):
+    """Random instruction soup (forward jumps only); mostly rejected."""
+    n = rng.randint(3, 10)
+    insns = []
+    for _ in range(n):
+        kind = rng.randrange(5)
+        if kind == 0:
+            insns.append(Mov(rng.randrange(10), Imm(rng.randint(-64, 64))))
+        elif kind == 1:
+            insns.append(Mov(rng.randrange(10), rng.randrange(11)))
+        elif kind == 2:
+            insns.append(Alu(rng.choice(ALU_OPS), rng.randrange(10),
+                             Imm(rng.randint(-4, 64))))
+        elif kind == 3:
+            insns.append(Store(R10, rng.choice([-8, -16, -24, 0, 8]),
+                               Imm(rng.randint(0, 9))))
+        else:
+            insns.append(Load(rng.randrange(10), rng.randrange(11),
+                              rng.choice([-8, -16, 0, 8])))
+    insns += [Mov(R0, Imm(0)), Exit()]
+    return insns
+
+
+TEMPLATES = [_t_guarded_pkt, _t_counted_loop, _t_masked_div,
+             _t_stack_table, _t_kptr, _t_junk]
+
+
+def _mutate(rng: random.Random, insns):
+    """Perturb one instruction; keeps the program syntactically valid."""
+    i = rng.randrange(len(insns))
+    insn = insns[i]
+    if isinstance(insn, Alu) and isinstance(insn.src, Imm):
+        insns[i] = Alu(insn.op, insn.dst, Imm(insn.src.value + rng.choice([-8, 8])))
+    elif isinstance(insn, Load):
+        insns[i] = Load(insn.dst, insn.base, insn.off + rng.choice([-8, 8]))
+    elif isinstance(insn, JmpIf):
+        insns[i] = JmpIf(rng.choice(JMP_OPS), insn.lhs, insn.rhs, insn.target)
+    elif isinstance(insn, Mov):
+        insns[i] = Mov(insn.dst, Imm(rng.randint(-16, 16)))
+    return insns
+
+
+def _gen_program(rng: random.Random, idx: int) -> Program:
+    insns = rng.choice(TEMPLATES)(rng)
+    if rng.random() < 0.3:
+        insns = _mutate(rng, insns)
+    return Program(insns, name=f"fuzz_{idx}")
+
+
+def _rand_packet(rng: random.Random) -> bytes:
+    return bytes(rng.randrange(256) for _ in range(rng.choice([0, 16, 40, 64])))
+
+
+def _machine_state(vm: Vm, r0: int):
+    return (r0, bytes(vm.stack), bytes(vm.packet), vm.stats.steps)
+
+
+def test_differential_fuzz():
+    rng = random.Random(SEED)
+    registry = runnable_registry(SEED)  # metadata only; impls re-bound per run
+    verifier = Verifier(registry)
+    accepted = rejected = 0
+
+    for idx in range(N_PROGRAMS):
+        prog = _gen_program(rng, idx)
+        try:
+            vp = verifier.verify(prog)
+        except VerifierError:
+            rejected += 1
+            continue
+        accepted += 1
+        kfunc_seed = rng.randrange(1 << 30)
+        for _ in range(PACKETS_PER_PROGRAM):
+            packet = _rand_packet(rng)
+            # Checked run: proofs attached, every check still performed.
+            vm_c = Vm(runnable_registry(kfunc_seed), packet=packet,
+                      proofs=vp, elide_checks=False)
+            try:
+                r0_c = vm_c.run(prog)
+            except VmFault as exc:                      # pragma: no cover
+                pytest.fail(
+                    f"{prog.name} (seed {SEED}): verifier accepted but VM "
+                    f"faulted with checks on: {exc}"
+                )
+            assert vm_c.stats.checks_elided == 0
+            # Elided run: identical machine state, zero checks performed
+            # beyond the unproven ones.
+            vm_e = Vm(runnable_registry(kfunc_seed), packet=packet,
+                      proofs=vp, elide_checks=True)
+            r0_e = vm_e.run(prog)
+            assert _machine_state(vm_c, r0_c) == _machine_state(vm_e, r0_e), (
+                f"{prog.name} (seed {SEED}): elided run diverged"
+            )
+            assert (vm_e.stats.checks_performed + vm_e.stats.checks_elided
+                    == vm_c.stats.checks_performed)
+
+    # Generator sanity: the sweep exercises both sides of the frontier.
+    assert accepted >= N_PROGRAMS // 10, (accepted, rejected)
+    assert rejected >= N_PROGRAMS // 10, (accepted, rejected)
+    print(f"\ndifferential fuzz: {accepted} accepted / {rejected} rejected "
+          f"of {N_PROGRAMS} (seed {SEED})")

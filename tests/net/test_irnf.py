@@ -1,0 +1,97 @@
+"""IrNf: verified IR programs attached to the XDP pipeline."""
+
+import struct
+
+import pytest
+
+from repro.ebpf.cost_model import Category, ExecMode
+from repro.ebpf.insn import Exit, Imm, Mov, Program, R0
+from repro.ebpf.progs import get_case
+from repro.ebpf.runtime import BpfRuntime
+from repro.ebpf.verifier import VerifierError
+from repro.net.flowgen import FlowGenerator
+from repro.net.irnf import IrNf, XDP_RETURN_CODES, encode_packet
+from repro.net.packet import Packet, XdpAction
+from repro.net.xdp import XdpPipeline
+
+MASK64 = (1 << 64) - 1
+
+
+def _const_prog(r0: int) -> Program:
+    return Program([Mov(R0, Imm(r0)), Exit()], name=f"ret_{r0}")
+
+
+def _pkt(**kw) -> Packet:
+    defaults = dict(src_ip=0x0A000001, dst_ip=0x0A000002,
+                    src_port=1234, dst_port=80)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestEncodePacket:
+    def test_layout(self):
+        pkt = _pkt(size=64, timestamp_ns=99)
+        buf = encode_packet(pkt)
+        assert len(buf) == 64
+        fields = struct.unpack_from("<7Q", buf, 0)
+        assert fields == (0x0A000001, 0x0A000002, 1234, 80,
+                          pkt.proto, 64, 99)
+
+    def test_buffer_tracks_frame_size(self):
+        assert len(encode_packet(_pkt(size=128))) == 128
+
+
+class TestIrNf:
+    def test_attach_time_rejection(self):
+        rt = BpfRuntime()
+        with pytest.raises(VerifierError):
+            IrNf(rt, get_case("pkt_missing_guard").prog)
+
+    @pytest.mark.parametrize("code,action", sorted(XDP_RETURN_CODES.items()))
+    def test_return_code_mapping(self, code, action):
+        rt = BpfRuntime()
+        nf = IrNf(rt, _const_prog(code))
+        assert nf.process(_pkt()) == action
+
+    def test_unknown_return_code_aborts(self):
+        rt = BpfRuntime()
+        nf = IrNf(rt, _const_prog(57))
+        assert nf.process(_pkt()) == XdpAction.ABORTED
+
+    def test_charges_runtime_cycles(self):
+        rt = BpfRuntime(mode=ExecMode.ENETSTL)
+        nf = IrNf(rt, get_case("nf_classifier").prog, elide_checks=False)
+        before = rt.cycles.total
+        nf.process(_pkt())
+        assert rt.cycles.total > before
+        assert rt.cycles.breakdown()[Category.FRAMEWORK] > 0  # checks
+        assert nf.stats.checks_performed > 0
+
+    def test_elision_drops_framework_cycles(self):
+        rt = BpfRuntime(mode=ExecMode.ENETSTL)
+        nf = IrNf(rt, get_case("nf_classifier").prog, elide_checks=True)
+        nf.process(_pkt())
+        assert rt.cycles.breakdown().get(Category.FRAMEWORK, 0) == 0
+        assert nf.stats.checks_performed == 0
+        assert nf.stats.checks_elided > 0
+
+    def test_classifier_reads_real_header_bytes(self):
+        """The verdict is a pure function of the encoded 5-tuple."""
+        rt = BpfRuntime()
+        nf = IrNf(rt, get_case("nf_classifier").prog)
+        pkt = _pkt()
+        h = (pkt.src_ip ^ pkt.dst_ip) & MASK64
+        h = (h + pkt.src_port) & MASK64
+        h ^= pkt.dst_port
+        expected = 1 + ((h % ((h & 7) + 1)) & 1)
+        assert nf.process(pkt) == XDP_RETURN_CODES[expected]
+
+    def test_runs_under_pipeline(self):
+        rt = BpfRuntime(mode=ExecMode.ENETSTL, seed=3)
+        nf = IrNf(rt, get_case("nf_classifier").prog, seed=3)
+        fg = FlowGenerator(n_flows=64, seed=3)
+        result = XdpPipeline(nf).run(fg.trace(200))
+        assert result.n_packets == 200
+        assert not result.errors
+        assert set(result.actions) <= {XdpAction.PASS, XdpAction.DROP}
+        assert len(nf.returns) == 200
