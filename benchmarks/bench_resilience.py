@@ -27,15 +27,14 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import pathlib
-import platform
 import sys
 
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
+from repro.analysis.hostmeta import host_metadata
 from repro.ebpf.cost_model import ExecMode
 from repro.ebpf.runtime import BpfRuntime
 from repro.faults import FaultPlan
@@ -231,11 +230,7 @@ def main(argv=None) -> int:
 
     payload = {
         "benchmark": "PR3 fault-injection + graceful degradation + watchdog recovery",
-        "host": {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "machine": platform.machine(),
-        },
+        "host": host_metadata(),
         "quick": args.quick,
         "fault_rates": sweep,
         "watchdog": watchdog,

@@ -27,15 +27,14 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import pathlib
-import platform
 import sys
 
 sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
+from repro.analysis.hostmeta import host_metadata
 from repro.ebpf.cost_model import ExecMode, NumaTopology
 from repro.ebpf.runtime import BpfRuntime
 from repro.net.flowgen import FlowGenerator
@@ -184,11 +183,7 @@ def main(argv=None) -> int:
 
     payload = {
         "benchmark": "PR2 steering-aware multi-core dispatch + streaming pipeline",
-        "host": {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "machine": platform.machine(),
-        },
+        "host": host_metadata(),
         "quick": args.quick,
         "steering": headline,
         "steering_pr1_trace": pr1_trace,

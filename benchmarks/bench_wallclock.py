@@ -25,9 +25,7 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import pathlib
-import platform
 import shutil
 import sys
 import tempfile
@@ -37,6 +35,7 @@ sys.path.insert(
     0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
 )
 
+from repro.analysis.hostmeta import host_metadata
 from repro.analysis.parallel import ResultCache, resolve_jobs, run_experiments
 from repro.ebpf.cost_model import ExecMode
 from repro.ebpf.runtime import BpfRuntime
@@ -128,11 +127,7 @@ def main(argv=None) -> int:
     scaling = multicore_scaling()
     payload = {
         "benchmark": "PR1 multi-core RSS data plane + parallel runner",
-        "host": {
-            "python": platform.python_version(),
-            "cpu_count": os.cpu_count(),
-            "machine": platform.machine(),
-        },
+        "host": host_metadata(),
         "experiments": names,
         "n_packets": args.packets,
         "wallclock_s": {

@@ -1,0 +1,43 @@
+"""Host metadata for benchmark artifacts (BENCH_*.json).
+
+Benchmark JSON files used to record only ``os.cpu_count()``, which is
+the number of CPUs *installed*, not the number this process may run
+on.  Under cgroup cpusets or ``taskset`` those differ, and scaling
+numbers (packets/sec per core, parallel-runner speedups) are only
+interpretable against the *schedulable* count.  :func:`host_metadata`
+records both, plus the interpreter/machine identity every artifact
+already carried.
+
+``sched_getaffinity`` is Linux-only; on platforms without it the
+affinity count falls back to ``cpu_count`` so artifacts stay
+comparable across hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Dict, Optional, Union
+
+
+def schedulable_cpus() -> Optional[int]:
+    """CPUs this process may actually be scheduled on."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux / restricted
+        return os.cpu_count()
+
+
+def host_metadata() -> Dict[str, Union[str, int, None]]:
+    """The ``"host"`` block shared by every BENCH_*.json artifact.
+
+    ``cpu_count`` is the installed-CPU count; ``cpu_affinity`` is the
+    schedulable count — the one throughput-per-core claims must be
+    normalized by.
+    """
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "cpu_affinity": schedulable_cpus(),
+    }

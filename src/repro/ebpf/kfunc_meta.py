@@ -227,4 +227,19 @@ def default_registry() -> KfuncRegistry:
         flags=(KF_ACQUIRE, KF_RELEASE, KF_RET_NULL),
         release_arg=1,
     )
+    # eNetSTL library kfuncs (§4): per-packet data-structure work —
+    # sketch maintenance, consistent-hash backend selection — lives in
+    # native library code behind a kfunc, not in interpreted BPF.
+    reg.define(
+        "enetstl_cm_update",
+        args=(ARG_SCALAR,),
+        ret=RET_SCALAR,
+        prog_types=("xdp", "tc"),
+    )
+    reg.define(
+        "enetstl_maglev_pick",
+        args=(ARG_SCALAR,),
+        ret=RET_SCALAR,
+        prog_types=("xdp", "tc"),
+    )
     return reg

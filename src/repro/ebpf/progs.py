@@ -48,6 +48,50 @@ from .vm import KernelObject, Pointer
 
 MASK64 = (1 << 64) - 1
 
+#: Count-min sketch geometry for the ``enetstl_cm_update`` kfunc impl.
+CM_ROWS = 4
+CM_WIDTH = 64
+#: Fixed per-row salts (splitmix64-style odd constants) so the sketch
+#: is deterministic without consuming the registry's PRNG stream.
+_CM_SALTS = (
+    0x9E3779B97F4A7C15,
+    0xC2B2AE3D27D4EB4F,
+    0x165667B19E3779F9,
+    0x27D4EB2F165667C5,
+)
+
+#: Maglev lookup-table geometry for ``enetstl_maglev_pick``.
+MAGLEV_BACKENDS = 8
+MAGLEV_TABLE_SIZE = 251  # prime, as the Maglev paper requires
+
+
+def _maglev_table(seed: int) -> List[int]:
+    """Populate a Maglev lookup table (permutation fill, one entry per
+    slot) from a dedicated PRNG so the registry's shared stream — which
+    ``bpf_get_prandom_u32`` draws from — is untouched."""
+    rng = random.Random(f"maglev-{seed}")
+    perms = [
+        (rng.randrange(MAGLEV_TABLE_SIZE),
+         rng.randrange(1, MAGLEV_TABLE_SIZE))
+        for _ in range(MAGLEV_BACKENDS)
+    ]
+    table = [-1] * MAGLEV_TABLE_SIZE
+    next_idx = [0] * MAGLEV_BACKENDS
+    filled = 0
+    while filled < MAGLEV_TABLE_SIZE:
+        for b in range(MAGLEV_BACKENDS):
+            offset, skip = perms[b]
+            while True:
+                c = (offset + next_idx[b] * skip) % MAGLEV_TABLE_SIZE
+                next_idx[b] += 1
+                if table[c] < 0:
+                    table[c] = b
+                    filled += 1
+                    break
+            if filled == MAGLEV_TABLE_SIZE:
+                break
+    return table
+
 
 @dataclass(frozen=True)
 class ProgCase:
@@ -326,6 +370,69 @@ def _cases() -> List[ProgCase]:
         Exit(),
     )
 
+    # Count-min sketch NF (eNetSTL §4 use case): a counted loop hashes
+    # the 4 guarded header words (the JIT unrolls it via the verifier's
+    # trip-count proof), then the sketch update itself — the per-packet
+    # data-structure work — runs in the enetstl_cm_update kfunc.  Flows
+    # whose estimated count exceeds the threshold are dropped (heavy-
+    # hitter policing): 1 = XDP_DROP, 2 = XDP_PASS.
+    case(
+        True,
+        "count-min sketch NF: loop-hashed header + kfunc update -> police",
+        "nf_cm_sketch",
+        Load(R2, R1, 0),             # r2 = ctx->data
+        Load(R3, R1, 8),             # r3 = ctx->data_end
+        Mov(R4, R2),
+        Alu("add", R4, Imm(32)),     # header is 32 bytes
+        JmpIf("gt", R4, R3, 18),     # short packet: drop
+        Mov(R6, Imm(0)),             # i = 0
+        Mov(R7, Imm(0)),             # hash = 0
+        Load(R8, R2, 0),             # loop: word = *cursor   (elided)
+        Alu("xor", R7, R8),
+        Alu("mul", R7, Imm(31)),     # hash = (hash ^ word) * 31
+        Alu("add", R2, Imm(8)),      # cursor += 8
+        Alu("add", R6, Imm(1)),      # i += 1
+        JmpIf("lt", R6, Imm(4), 7),  # while i < 4
+        Mov(R1, R7),
+        Call("enetstl_cm_update"),   # r0 = estimated flow count
+        JmpIf("gt", R0, Imm(4096), 18),  # heavy hitter: drop
+        Mov(R0, Imm(2)),             # 2 = XDP_PASS
+        Exit(),
+        Mov(R0, Imm(1)),             # 1 = XDP_DROP
+        Exit(),
+    )
+    # Maglev load-balancer NF (eNetSTL §4 use case): hash the guarded
+    # 5-tuple in IR, pick a backend through the consistent-hash lookup
+    # table behind enetstl_maglev_pick, spill/reload the choice through
+    # the stack (both proven, both elided), and emit 3 = XDP_TX or
+    # 4 = XDP_REDIRECT by backend parity.
+    case(
+        True,
+        "Maglev NF: guarded 5-tuple hash + kfunc backend pick -> tx/redirect",
+        "nf_maglev_pick",
+        Load(R2, R1, 0),             # r2 = ctx->data
+        Load(R3, R1, 8),             # r3 = ctx->data_end
+        Mov(R4, R2),
+        Alu("add", R4, Imm(32)),
+        JmpIf("gt", R4, R3, 19),     # short packet: drop
+        Load(R6, R2, 0),             # src_ip     (elided)
+        Load(R7, R2, 8),             # dst_ip     (elided)
+        Load(R8, R2, 16),            # src_port   (elided)
+        Load(R9, R2, 24),            # dst_port   (elided)
+        Alu("xor", R6, R7),
+        Alu("add", R6, R8),
+        Alu("xor", R6, R9),          # r6 = flow hash
+        Mov(R1, R6),
+        Call("enetstl_maglev_pick"), # r0 = backend id
+        Store(R10, -8, R0),          # spill backend   (elided)
+        Load(R0, R10, -8),           # reload          (elided)
+        Alu("and", R0, Imm(1)),
+        Alu("add", R0, Imm(3)),      # 3 = XDP_TX, 4 = XDP_REDIRECT
+        Exit(),
+        Mov(R0, Imm(1)),             # drop path
+        Exit(),
+    )
+
     case(
         True,
         "branchy scalar flow where range refinement prunes a dead path",
@@ -410,6 +517,26 @@ def runnable_registry(seed: int = 0) -> KfuncRegistry:
         state["xchg"] = kptr
         return prev
 
+    cm = [[0] * CM_WIDTH for _ in range(CM_ROWS)]
+    maglev = _maglev_table(seed)
+
+    def cm_update(vm, key):
+        # Count-min: bump one counter per row, return the min estimate.
+        k = int(key) & MASK64
+        est = None
+        for row, salt in enumerate(_CM_SALTS):
+            h = ((k ^ salt) * 0x2545F4914F6CDD1D) & MASK64
+            counters = cm[row]
+            idx = (h >> 32) & (CM_WIDTH - 1)
+            counters[idx] += 1
+            c = counters[idx]
+            if est is None or c < est:
+                est = c
+        return est
+
+    def maglev_pick(vm, flow_hash):
+        return maglev[(int(flow_hash) & MASK64) % MAGLEV_TABLE_SIZE]
+
     impls = {
         "bpf_get_prandom_u32": prandom,
         "bpf_ktime_get_ns": ktime,
@@ -418,6 +545,8 @@ def runnable_registry(seed: int = 0) -> KfuncRegistry:
         "bpf_obj_new": obj_new,
         "bpf_obj_drop": obj_drop,
         "bpf_kptr_xchg": kptr_xchg,
+        "enetstl_cm_update": cm_update,
+        "enetstl_maglev_pick": maglev_pick,
     }
     reg = KfuncRegistry()
     for meta in default_registry():

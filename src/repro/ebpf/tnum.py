@@ -260,6 +260,24 @@ class ScalarRange:
 UNKNOWN_RANGE = ScalarRange()
 
 
+def range_subsumes(general: ScalarRange, specific: ScalarRange) -> bool:
+    """Is every concrete value admitted by ``specific`` also admitted by
+    ``general``?  The kernel's ``range_within`` + ``tnum_in`` test that
+    powers ``regsafe`` state pruning: if verification succeeded from the
+    *general* state, it covers anything reachable in the *specific* one.
+    """
+    if not (general.umin <= specific.umin and specific.umax <= general.umax):
+        return False
+    if not (general.smin <= specific.smin and specific.smax <= general.smax):
+        return False
+    # tnum_in(general, specific): every bit known in `general` must be
+    # known — with the same value — in `specific`.
+    known = ~general.tnum.mask & MASK64
+    if specific.tnum.mask & known:
+        return False
+    return (general.tnum.value ^ specific.tnum.value) & known == 0
+
+
 def unknown_range() -> ScalarRange:
     return UNKNOWN_RANGE
 

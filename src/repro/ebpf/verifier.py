@@ -77,6 +77,7 @@ from .tnum import (
     U64_MAX,
     const_range,
     eval_cmp,
+    range_subsumes,
     refine_cmp,
     unknown_range,
 )
@@ -97,6 +98,11 @@ VAR_OFF_LIMIT = 1 << 32
 
 #: Per-instruction entry states kept for the CLI's range-fact listing.
 MAX_FACTS_PER_INSN = 4
+
+#: Fully-explored states remembered per pruning point for subsumption
+#: checks (the kernel keeps a similar bounded ``explored_states`` list
+#: per instruction).
+MAX_BLACK_PER_PC = 24
 
 NOT_INIT = "not_init"
 SCALAR = "scalar"
@@ -313,6 +319,68 @@ def initial_state() -> AbstractState:
     return AbstractState(regs=tuple(regs), stack=(), refs=frozenset())
 
 
+_NOT_INIT_REG = Reg()
+
+
+def reg_subsumes(old: Reg, new: Reg) -> bool:
+    """``regsafe``: does the fully-explored ``old`` register state cover
+    ``new``?  Uninitialized in ``old`` covers anything (the explored
+    subtree never read the register, and ``new``'s feasible paths are a
+    subset of ``old``'s).  Scalars use range containment; pointers must
+    match exactly — except ``maybe_null``, which may only *relax* (a
+    subtree verified against a possibly-NULL pointer covers the
+    definitely-non-NULL case).  Identity-carrying registers (acquired
+    refs, variable-offset parts) are conservatively never subsumed —
+    their safety depends on cross-register aliasing the pointwise
+    comparison cannot see.
+    """
+    if old.kind == NOT_INIT:
+        return True
+    if new.kind == NOT_INIT:
+        return False
+    if old.ref_id is not None or new.ref_id is not None:
+        return False
+    if (old.var is not None or new.var is not None
+            or old.var_id is not None or new.var_id is not None):
+        return False
+    if old.kind == SCALAR:
+        return new.kind == SCALAR and range_subsumes(old.rng, new.rng)
+    if new.kind != old.kind or new.off != old.off or new.size != old.size:
+        return False
+    return old.maybe_null or not new.maybe_null
+
+
+def state_subsumes(old: AbstractState, new: AbstractState) -> bool:
+    """``states_equal``-style pruning test: if verification succeeded
+    from ``old``, every behavior reachable from ``new`` was covered.
+
+    Conservative wherever covering is not pointwise: live references
+    and variable-offset packet proofs force exact matching (handled by
+    the explorer's black set), so subsumption only fires on ref-free
+    states — by far the common case in loop bodies.
+    """
+    if old.refs or new.refs:
+        return False
+    if old.pkt_vchecked or new.pkt_vchecked:
+        return False
+    # More proven packet bytes = strictly safer; `old` must have proven
+    # no more than `new` has.
+    if old.pkt_checked > new.pkt_checked:
+        return False
+    for o, n in zip(old.regs, new.regs):
+        if not reg_subsumes(o, n):
+            return False
+    old_slots = dict(old.stack)
+    new_slots = dict(new.stack)
+    for off in set(old_slots) | set(new_slots):
+        if not reg_subsumes(
+            old_slots.get(off, _NOT_INIT_REG),
+            new_slots.get(off, _NOT_INIT_REG),
+        ):
+            return False
+    return True
+
+
 @dataclass(frozen=True)
 class VerifierStats:
     """Exploration statistics for one accepted program."""
@@ -321,6 +389,7 @@ class VerifierStats:
     checks_elided: int = 0
     loops_bounded: int = 0
     max_trip_count: int = 0
+    states_pruned: int = 0
 
 
 @dataclass(frozen=True)
@@ -341,6 +410,7 @@ class ProofAnnotations:
     safe_div: FrozenSet[int] = frozenset()
     loop_bounds: Dict[int, int] = field(default_factory=dict)
     states_explored: int = 0
+    states_pruned: int = 0
     facts: Dict[int, List[str]] = field(default_factory=dict)
 
     @property
@@ -362,10 +432,13 @@ class VerifiedProgram:
 
     @property
     def max_steps(self) -> int:
-        """Sound step budget for the VM: an accepted program's abstract
-        state graph is acyclic, so a concrete run takes at most one step
-        per explored abstract state."""
-        return self.stats.states_explored + len(self.prog) + 64
+        """Sound step budget for the VM.  An accepted program's covering
+        graph — explored states plus pruned states re-routed to the
+        black states that subsumed them — is acyclic (prune edges always
+        point to earlier-blackened states), so a concrete run takes at
+        most one step per node of that graph."""
+        return (self.stats.states_explored + self.stats.states_pruned
+                + len(self.prog) + 64)
 
 
 class _Frame:
@@ -390,11 +463,13 @@ class Verifier:
         prog_type: str = "xdp",
         max_states: int = MAX_STATES,
         collect_facts: bool = False,
+        prune: bool = True,
     ) -> None:
         self.registry = registry
         self.prog_type = prog_type
         self.max_states = max_states
         self.collect_facts = collect_facts
+        self.prune = prune
 
     # -- public API ------------------------------------------------------
 
@@ -406,8 +481,15 @@ class Verifier:
         self._trips: Dict[int, int] = {}
         facts: Dict[int, List[str]] = {}
         explored = 0
+        pruned = 0
         black: Set[Tuple] = set()
         gray: Set[Tuple] = set()
+        # Subsumption pruning is attempted only at join points (branch
+        # and jump targets) against *black* (fully explored) states —
+        # prune edges then always point to earlier-blackened states, so
+        # the covering graph stays acyclic and `max_steps` stays sound.
+        prune_pts = self._prune_points(prog) if self.prune else frozenset()
+        black_by_pc: Dict[int, List[AbstractState]] = {}
 
         state0 = initial_state()
         root = _Frame(0, state0, (0, state0.key()))
@@ -429,6 +511,10 @@ class Verifier:
                 if fr.idx >= len(fr.succs):
                     gray.discard(fr.key)
                     black.add(fr.key)
+                    if fr.pc in prune_pts:
+                        bucket = black_by_pc.setdefault(fr.pc, [])
+                        if len(bucket) < MAX_BLACK_PER_PC:
+                            bucket.append(fr.state)
                     frames.pop()
                     continue
                 nxt_pc, nxt_state = fr.succs[fr.idx]
@@ -443,6 +529,12 @@ class Verifier:
                         fr.pc,
                     )
                 if key in black:
+                    continue
+                if nxt_pc in prune_pts and any(
+                    state_subsumes(old, nxt_state)
+                    for old in black_by_pc.get(nxt_pc, ())
+                ):
+                    pruned += 1
                     continue
                 explored += 1
                 if explored > self.max_states:
@@ -464,6 +556,7 @@ class Verifier:
             safe_div=frozenset(self._safe_div),
             loop_bounds=dict(self._trips),
             states_explored=explored,
+            states_pruned=pruned,
             facts=facts,
         )
         stats = VerifierStats(
@@ -471,8 +564,22 @@ class Verifier:
             checks_elided=annotations.checks_elided,
             loops_bounded=len(self._trips),
             max_trip_count=max(self._trips.values(), default=0),
+            states_pruned=pruned,
         )
         return VerifiedProgram(prog=prog, stats=stats, annotations=annotations)
+
+    @staticmethod
+    def _prune_points(prog: Program) -> FrozenSet[int]:
+        """Join points worth a subsumption check: jump/branch targets
+        plus branch fall-throughs — everywhere two paths can meet."""
+        pts: Set[int] = set()
+        for pc, insn in enumerate(prog):
+            if isinstance(insn, Jmp):
+                pts.add(insn.target)
+            elif isinstance(insn, JmpIf):
+                pts.add(insn.target)
+                pts.add(pc + 1)
+        return frozenset(pts)
 
     @staticmethod
     def _enrich_error(

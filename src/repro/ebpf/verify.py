@@ -7,12 +7,18 @@ range-aware verifier proved:
 - a disasm-interleaved listing with per-instruction range facts
   (``--facts``; on by default for a single program),
 - rejection diagnostics with the offending path (``--explain``),
-- a JSON report of verifier stats: states explored, checks elided,
-  loops bounded (``--json``).
+- a JSON report of verifier stats: states explored, states pruned,
+  checks elided, loops bounded (``--json``),
+- the JIT backend (``--backend jit``): every accepted program is
+  lowered to its generated-Python closure with per-program compile
+  time; adding ``--bench`` also executes each program on both backends
+  and reports interp/JIT cycle parity (see ``docs/JIT.md``).
 
 ``--strict`` exits non-zero when any bundled program's verdict differs
 from its expected accept/reject or an accepted program elides zero
 checks it was expected to elide — the CI ``verify-smoke`` contract.
+Under ``--backend jit`` a compile failure or a parity mismatch is also
+an unexpected result.
 
 Examples::
 
@@ -20,6 +26,7 @@ Examples::
     python -m repro.ebpf.verify --program pkt_guarded_read
     python -m repro.ebpf.verify --asm prog.s --explain
     python -m repro.ebpf.verify --json --strict
+    python -m repro.ebpf.verify --backend jit --bench
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Any, Dict, List, Optional
 
 from .asm import AsmError, assemble
@@ -56,6 +64,7 @@ def _verify_one(
         "name": prog.name,
         "verdict": "accept",
         "states_explored": vp.stats.states_explored,
+        "states_pruned": vp.stats.states_pruned,
         "checks_elided": vp.stats.checks_elided,
         "loops_bounded": vp.stats.loops_bounded,
         "max_trip_count": vp.stats.max_trip_count,
@@ -65,6 +74,49 @@ def _verify_one(
             vp.annotations.loop_bounds.items())},
         "_verified": vp,
     }
+
+
+#: Deterministic 64-byte packet the ``--bench`` parity run feeds both
+#: backends (large enough for every bundled program's header guard).
+_BENCH_PACKET = bytes((i * 37 + 11) & 0xFF for i in range(64))
+
+
+def _jit_report(prog: Program, vp: VerifiedProgram,
+                bench: bool) -> Dict[str, Any]:
+    """Compile one accepted program; with ``bench``, execute it on both
+    backends and compare cycle totals bit for bit."""
+    from .jit import JitError, compile_program
+    from .progs import runnable_registry
+    from .vm import Vm, VmFault
+
+    reg = runnable_registry(0)
+    t0 = time.perf_counter()
+    try:
+        compiled = compile_program(prog, vp, reg, elide_checks=True)
+    except JitError as exc:
+        return {"error": str(exc)}
+    out: Dict[str, Any] = {
+        "compile_ms": round((time.perf_counter() - t0) * 1e3, 3),
+        "n_nodes": compiled.n_nodes,
+        "unrolled": {str(k): v for k, v in sorted(compiled.unrolled.items())},
+    }
+    if not bench:
+        return out
+    for backend in ("interp", "jit"):
+        vm = Vm(runnable_registry(0), packet=_BENCH_PACKET,
+                proofs=vp, backend=backend)
+        try:
+            r0 = vm.run(prog)
+        except VmFault as exc:
+            out[backend] = {"fault": str(exc)}
+            continue
+        out[backend] = {
+            "r0": r0,
+            "steps": vm.stats.steps,
+            "cycles": vm.stats.insn_cycles + vm.stats.check_cycles,
+        }
+    out["parity"] = out["interp"] == out["jit"]
+    return out
 
 
 def _print_facts(prog: Program, vp: Optional[VerifiedProgram],
@@ -105,6 +157,29 @@ def _print_result(result: Dict[str, Any], case: Optional[ProgCase],
         if explain:
             for line in result["explain"].splitlines()[1:]:
                 print(f"        {line}")
+
+
+def _print_jit(result: Dict[str, Any]) -> None:
+    info = result.get("jit")
+    if not info:
+        return
+    if "error" in info:
+        print(f"        jit: COMPILE FAILED: {info['error']}")
+        return
+    parts = [f"compiled {info['n_nodes']} nodes "
+             f"in {info['compile_ms']:.3f} ms"]
+    if info["unrolled"]:
+        copies = ", ".join(
+            f"pc {pc} x{n}" for pc, n in info["unrolled"].items())
+        parts.append(f"unrolled {copies}")
+    if "parity" in info:
+        if info["parity"]:
+            parts.append(
+                f"cycle parity OK ({info['interp']['cycles']} cyc)")
+        else:
+            parts.append(
+                f"PARITY MISMATCH interp={info['interp']} jit={info['jit']}")
+    print(f"        jit: {'; '.join(parts)}")
 
 
 def _unexpected(result: Dict[str, Any], case: ProgCase) -> Optional[str]:
@@ -162,7 +237,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-states", type=int, default=None,
         help="override the verifier's state-exploration limit",
     )
+    parser.add_argument(
+        "--backend", choices=("interp", "jit"), default="interp",
+        help="with 'jit', lower every accepted program to its "
+             "generated-Python closure and report per-program compile time",
+    )
+    parser.add_argument(
+        "--bench", action="store_true",
+        help="with --backend jit: execute each accepted program on both "
+             "backends and report interp/JIT cycle parity",
+    )
     args = parser.parse_args(argv)
+    if args.bench and args.backend != "jit":
+        parser.error("--bench requires --backend jit")
 
     if args.list:
         for case in bundled_cases():
@@ -188,12 +275,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         result = _verify_one(prog, verifier)
         vp = result.pop("_verified", None)
+        if args.backend == "jit" and vp is not None:
+            result["jit"] = _jit_report(prog, vp, args.bench)
         if args.json:
             print(json.dumps(result, indent=2))
         else:
             _print_facts(prog, vp, getattr(vp, "annotations", None).facts
                          if vp is not None else {})
             _print_result(result, None, args.explain or True)
+            _print_jit(result)
         return 0 if result["verdict"] == "accept" else 1
 
     if args.program:
@@ -221,12 +311,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 problem = f"{case.name}: accepted but elided zero checks"
         if problem is not None:
             report["unexpected"].append(problem)
+        if args.backend == "jit" and vp is not None:
+            jit_info = _jit_report(case.prog, vp, args.bench)
+            result["jit"] = jit_info
+            if "error" in jit_info:
+                report["unexpected"].append(
+                    f"{case.name}: JIT compile failed: {jit_info['error']}"
+                )
+            elif args.bench and not jit_info.get("parity", True):
+                report["unexpected"].append(
+                    f"{case.name}: interp/JIT cycle parity mismatch"
+                )
         report["programs"].append(result)
         if not args.json:
             if show_facts:
                 _print_facts(case.prog, vp,
                              vp.annotations.facts if vp is not None else {})
             _print_result(result, case, args.explain)
+            _print_jit(result)
 
     n = len(report["programs"])
     accepted = sum(1 for r in report["programs"] if r["verdict"] == "accept")
@@ -236,6 +338,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "rejected": n - accepted,
         "states_explored": sum(
             r.get("states_explored", 0) for r in report["programs"]),
+        "states_pruned": sum(
+            r.get("states_pruned", 0) for r in report["programs"]),
         "checks_elided": sum(
             r.get("checks_elided", 0) for r in report["programs"]),
         "loops_bounded": sum(
@@ -249,7 +353,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"\n{s['programs']} programs: {s['accepted']} accepted, "
             f"{s['rejected']} rejected; {s['states_explored']} states "
-            f"explored, {s['checks_elided']} checks elided, "
+            f"explored ({s['states_pruned']} pruned), "
+            f"{s['checks_elided']} checks elided, "
             f"{s['loops_bounded']} loops bounded"
         )
         for problem in report["unexpected"]:

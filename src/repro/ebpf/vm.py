@@ -114,7 +114,11 @@ class Vm:
         costs: CostModel = DEFAULT_COSTS,
         cycles: Optional[Cycles] = None,
         elide_checks: bool = True,
+        backend: str = "interp",
     ) -> None:
+        if backend not in ("interp", "jit"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
         self.registry = registry
         self.stack = bytearray(STACK_SIZE)
         self.ctx = bytearray(ctx_size)
@@ -130,7 +134,8 @@ class Vm:
         self.costs = costs
         self.cycles = cycles
         self.stats = VmStats()
-        if ann is not None and elide_checks:
+        self._elide = bool(ann is not None and elide_checks)
+        if self._elide:
             self._safe_mem = ann.safe_mem
             self._safe_div = ann.safe_div
         else:
@@ -195,13 +200,29 @@ class Vm:
     # -- execution -----------------------------------------------------------
 
     def run(self, prog: Program, max_steps: Optional[int] = None) -> int:
-        """Execute ``prog``; returns r0 at exit."""
+        """Execute ``prog``; returns r0 at exit.
+
+        With ``backend="jit"`` the program is lowered to a generated
+        Python closure (cached per registry + program hash, see
+        :mod:`repro.ebpf.jit`) instead of interpreted; outputs, machine
+        state, stats, and cycle charges are bit-identical.  The
+        ``max_steps`` override only applies to the interpreter — the
+        JIT folds the proof-derived step budget in at compile time.
+        """
+        if self.backend == "jit":
+            return self._run_jit(prog)
         if max_steps is None:
             if self.proofs is not None:
-                # An accepted program's abstract state graph is acyclic:
-                # a concrete run takes at most one step per explored
-                # abstract state.
-                max_steps = self.proofs.states_explored + len(prog) + 64
+                # An accepted program's abstract state graph is acyclic
+                # (pruned states included — subsumption edges point to
+                # earlier states): a concrete run takes at most one
+                # step per explored-or-pruned abstract state.
+                max_steps = (
+                    self.proofs.states_explored
+                    + getattr(self.proofs, "states_pruned", 0)
+                    + len(prog)
+                    + 64
+                )
             else:
                 max_steps = len(prog) * 4 + 64
         self.regs = [0] * N_REGS
@@ -230,6 +251,19 @@ class Vm:
                     )
                     self.stats.check_cycles = 0
         raise VmFault("step limit exceeded (runaway program)")
+
+    def _run_jit(self, prog: Program) -> int:
+        from .jit import compiled_for  # deferred: jit imports this module
+
+        if self.proofs is None:
+            raise ValueError(
+                "backend='jit' requires verifier proofs "
+                "(pass proofs= to Vm)"
+            )
+        compiled = compiled_for(
+            self.registry, prog, self.proofs, self._elide
+        )
+        return compiled.fn(self)
 
     def _operand(self, src: Union[int, Imm]) -> Value:
         if isinstance(src, Imm):

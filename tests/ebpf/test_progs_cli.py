@@ -147,6 +147,29 @@ def test_cli_json_report(capsys):
     assert by_name["nf_classifier"]["safe_div"] == [15]
 
 
+def test_cli_jit_backend_bench(capsys):
+    """`--backend jit --bench` compiles every accepted program and
+    proves interp/JIT cycle parity; strict mode fails on any mismatch."""
+    assert verify_main(["--backend", "jit", "--bench", "--strict",
+                        "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["summary"]["unexpected"] == 0
+    accepted = [r for r in report["programs"] if r["verdict"] == "accept"]
+    assert accepted
+    for r in accepted:
+        assert r["jit"]["compile_ms"] > 0
+        assert r["jit"]["parity"] is True, r["name"]
+        assert r["jit"]["interp"]["cycles"] == r["jit"]["jit"]["cycles"]
+    by_name = {r["name"]: r for r in accepted}
+    # The sketch NF's counted loop is unrolled (3 trips -> 4 copies).
+    assert by_name["nf_cm_sketch"]["jit"]["unrolled"] == {"12": 4}
+
+
+def test_cli_bench_requires_jit_backend():
+    with pytest.raises(SystemExit):
+        verify_main(["--bench"])
+
+
 def test_cli_asm_file(tmp_path, capsys):
     good = tmp_path / "good.s"
     good.write_text("r0 = 0\nexit\n")

@@ -11,6 +11,13 @@ packets:
 2. **Elision transparency** — the same program with proven checks
    elided produces a bit-identical machine state: same r0, same final
    stack bytes, same packet bytes, same step count.
+3. **JIT transparency** — the same program lowered to a generated
+   Python closure (``backend="jit"``) produces a bit-identical machine
+   state *and* bit-identical accounting: steps, checks performed /
+   elided, instruction cycles, check cycles.
+4. **Pruning transparency** — verifying with subsumption pruning
+   disabled never changes an accept/reject verdict or the proof
+   annotations that drive elision and unrolling.
 
 The sweep size is ``REPRO_FUZZ_PROGRAMS`` (default 400 for tier-1; CI
 runs the ``fuzz-sweep`` job at 2000+).  Everything derives from one
@@ -148,6 +155,29 @@ def _t_kptr(rng: random.Random):
     ]
 
 
+def _t_eq_dispatch(rng: random.Random):
+    """Switch-style eq-chain on a masked scalar; all arms share a tail.
+
+    The fall-through (general) state blackens the tail first, then
+    every refined arm state arrives subsumed — the shape where the
+    verifier's subsumption pruning pays off."""
+    k = rng.randint(3, 8)
+    tail = 3 + k
+    insns = [
+        Call("bpf_get_prandom_u32"),
+        Mov(R6, R0),
+        Alu("and", R6, Imm(0xFF)),
+    ]
+    for i in range(k):
+        insns.append(JmpIf("eq", R6, Imm(i + 1), tail))
+    insns += [
+        Mov(R0, R6),
+        Alu("and", R0, Imm(3)),
+        Exit(),
+    ]
+    return insns
+
+
 def _t_junk(rng: random.Random):
     """Random instruction soup (forward jumps only); mostly rejected."""
     n = rng.randint(3, 10)
@@ -172,7 +202,7 @@ def _t_junk(rng: random.Random):
 
 
 TEMPLATES = [_t_guarded_pkt, _t_counted_loop, _t_masked_div,
-             _t_stack_table, _t_kptr, _t_junk]
+             _t_stack_table, _t_kptr, _t_eq_dispatch, _t_junk]
 
 
 def _mutate(rng: random.Random, insns):
@@ -203,6 +233,12 @@ def _rand_packet(rng: random.Random) -> bytes:
 
 def _machine_state(vm: Vm, r0: int):
     return (r0, bytes(vm.stack), bytes(vm.packet), vm.stats.steps)
+
+
+def _accounting(vm: Vm):
+    return (vm.stats.steps, vm.stats.checks_performed,
+            vm.stats.checks_elided, vm.stats.insn_cycles,
+            vm.stats.check_cycles)
 
 
 def test_differential_fuzz():
@@ -243,9 +279,55 @@ def test_differential_fuzz():
             )
             assert (vm_e.stats.checks_performed + vm_e.stats.checks_elided
                     == vm_c.stats.checks_performed)
+            # JIT run: identical machine state AND identical accounting
+            # (steps, check counts, cycle charges) to the elided
+            # interpreter run — the compiler's parity contract.
+            vm_j = Vm(runnable_registry(kfunc_seed), packet=packet,
+                      proofs=vp, elide_checks=True, backend="jit")
+            r0_j = vm_j.run(prog)
+            assert _machine_state(vm_e, r0_e) == _machine_state(vm_j, r0_j), (
+                f"{prog.name} (seed {SEED}): JIT run diverged"
+            )
+            assert _accounting(vm_e) == _accounting(vm_j), (
+                f"{prog.name} (seed {SEED}): JIT accounting diverged"
+            )
 
     # Generator sanity: the sweep exercises both sides of the frontier.
     assert accepted >= N_PROGRAMS // 10, (accepted, rejected)
     assert rejected >= N_PROGRAMS // 10, (accepted, rejected)
     print(f"\ndifferential fuzz: {accepted} accepted / {rejected} rejected "
           f"of {N_PROGRAMS} (seed {SEED})")
+
+
+def test_pruning_differential():
+    """Subsumption pruning is verdict-transparent: on the same corpus,
+    the pruned and unpruned verifiers agree on accept/reject, on the
+    rejection reason class, and — for accepts — on every proof
+    annotation the VM and JIT consume (``safe_mem``, ``safe_div``,
+    ``loop_bounds``)."""
+    rng = random.Random(SEED)
+    registry = runnable_registry(SEED)
+    pruned_v = Verifier(registry)
+    unpruned_v = Verifier(registry, prune=False)
+    total_pruned_states = 0
+
+    for idx in range(N_PROGRAMS):
+        prog = _gen_program(rng, idx)
+        try:
+            vp_p = pruned_v.verify(prog)
+        except VerifierError as exc:
+            with pytest.raises(VerifierError):
+                unpruned_v.verify(prog)
+            continue
+        vp_u = unpruned_v.verify(prog)  # must not raise
+        assert vp_p.annotations.safe_mem == vp_u.annotations.safe_mem, prog.name
+        assert vp_p.annotations.safe_div == vp_u.annotations.safe_div, prog.name
+        assert (vp_p.annotations.loop_bounds
+                == vp_u.annotations.loop_bounds), prog.name
+        assert vp_u.stats.states_pruned == 0
+        assert (vp_p.stats.states_explored + vp_p.stats.states_pruned
+                <= vp_u.stats.states_explored + vp_p.stats.states_pruned)
+        total_pruned_states += vp_p.stats.states_pruned
+
+    # The corpus must actually exercise the pruner, or this test is vacuous.
+    assert total_pruned_states > 0

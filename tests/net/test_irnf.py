@@ -95,3 +95,54 @@ class TestIrNf:
         assert not result.errors
         assert set(result.actions) <= {XdpAction.PASS, XdpAction.DROP}
         assert len(nf.returns) == 200
+
+
+class TestIrNfJitBackend:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            IrNf(BpfRuntime(), _const_prog(2), backend="native")
+
+    @pytest.mark.parametrize(
+        "name", ["nf_classifier", "nf_cm_sketch", "nf_maglev_pick"])
+    def test_backend_parity_per_packet(self, name):
+        """Same trace, same seed: the JIT backend's verdicts, raw
+        returns, aggregate stats, and runtime cycle totals match the
+        interpreter exactly."""
+        fg = FlowGenerator(n_flows=32, seed=11)
+        trace = list(fg.trace(300))
+        results = {}
+        for backend in ("interp", "jit"):
+            rt = BpfRuntime(mode=ExecMode.ENETSTL, seed=5)
+            nf = IrNf(rt, get_case(name).prog, seed=5, backend=backend)
+            actions = [nf.process(p) for p in trace]
+            results[backend] = (
+                actions, nf.returns, nf.stats.steps,
+                nf.stats.checks_performed, nf.stats.checks_elided,
+                nf.stats.insn_cycles, rt.cycles.total,
+            )
+        assert results["interp"] == results["jit"]
+
+    def test_process_batch_matches_per_packet(self):
+        fg = FlowGenerator(n_flows=16, seed=4)
+        trace = list(fg.trace(120))
+        rt_a = BpfRuntime(seed=2)
+        nf_a = IrNf(rt_a, get_case("nf_maglev_pick").prog,
+                    seed=2, backend="jit")
+        counts = nf_a.process_batch(trace)
+        rt_b = BpfRuntime(seed=2)
+        nf_b = IrNf(rt_b, get_case("nf_maglev_pick").prog,
+                    seed=2, backend="jit")
+        per_packet = [nf_b.process(p) for p in trace]
+        assert sum(counts.values()) == len(trace)
+        for action in set(per_packet):
+            assert counts[action] == per_packet.count(action)
+        assert nf_a.returns == nf_b.returns
+
+    def test_jit_runs_under_batched_pipeline(self):
+        rt = BpfRuntime(mode=ExecMode.ENETSTL, seed=9)
+        nf = IrNf(rt, get_case("nf_cm_sketch").prog, seed=9, backend="jit")
+        fg = FlowGenerator(n_flows=64, seed=9)
+        result = XdpPipeline(nf).run_batch(fg.trace(256), batch_size=32)
+        assert result.n_packets == 256
+        assert not result.errors
+        assert set(result.actions) <= {XdpAction.PASS, XdpAction.DROP}
