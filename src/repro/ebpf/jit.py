@@ -132,6 +132,11 @@ class CompiledProgram:
     n_nodes: int
     #: back-edge pc -> number of body copies emitted (trips + 1)
     unrolled: Dict[int, int] = field(default_factory=dict)
+    #: Regions ("pkt" / "ctx" / "stack") the generated code may write.
+    #: Conservative (generic stores mark all three); the chain fuser
+    #: uses this to decide which buffers need a refresh between fused
+    #: stages (see :mod:`repro.ebpf.fuse`).
+    writes: frozenset = frozenset()
 
 
 def program_hash(prog: Program) -> str:
@@ -153,6 +158,11 @@ _CACHES: "weakref.WeakKeyDictionary[KfuncRegistry, Dict[Tuple[str, bool], Compil
     weakref.WeakKeyDictionary()
 )
 
+#: Lifetime hit/miss counters across every registry bucket — benchmark
+#: runs assert cache hits instead of silently recompiling.
+_CACHE_HITS = 0
+_CACHE_MISSES = 0
+
 
 def compiled_for(
     registry: KfuncRegistry,
@@ -162,6 +172,7 @@ def compiled_for(
 ) -> CompiledProgram:
     """Cached compile: same (registry, program hash, elide) returns the
     same :class:`CompiledProgram` object."""
+    global _CACHE_HITS, _CACHE_MISSES
     bucket = _CACHES.get(registry)
     if bucket is None:
         bucket = {}
@@ -169,15 +180,23 @@ def compiled_for(
     key = (program_hash(prog), bool(elide_checks))
     hit = bucket.get(key)
     if hit is None:
+        _CACHE_MISSES += 1
         hit = compile_program(prog, proofs, registry, elide_checks)
         bucket[key] = hit
+    else:
+        _CACHE_HITS += 1
     return hit
 
 
 def cache_info() -> Dict[str, int]:
     """Aggregate cache statistics (tests and the CLI report these)."""
     n_entries = sum(len(b) for b in _CACHES.values())
-    return {"registries": len(_CACHES), "entries": n_entries}
+    return {
+        "registries": len(_CACHES),
+        "entries": n_entries,
+        "hits": _CACHE_HITS,
+        "misses": _CACHE_MISSES,
+    }
 
 
 # -- CFG construction --------------------------------------------------------
@@ -426,17 +445,33 @@ def _src_txt(src: Union[int, Imm]) -> str:
 
 
 class _Compiler:
+    """Lowers one verified program to generated-Python source.
+
+    The chain fuser (:mod:`repro.ebpf.fuse`) drives this emitter too:
+    ``sym_prefix`` keeps per-stage global names (``_P*``/``_kf*``)
+    collision-free when several programs share one namespace,
+    ``exit_lines`` replaces the ``return`` terminator with
+    stage-local epilogue code, ``step_base`` rebases the runaway-step
+    guard on a per-stage baseline (``_steps`` accumulates across a
+    whole fused batch), and ``inline_kfuncs`` expands kfunc impls that
+    publish a ``_fuse_inline`` codegen spec directly into the body.
+    """
+
     def __init__(
         self,
         prog: Program,
         ann: Any,
         registry: KfuncRegistry,
         elide_checks: bool,
+        sym_prefix: str = "",
+        inline_kfuncs: bool = False,
     ) -> None:
         self.prog = prog
         self.ann = ann
         self.registry = registry
         self.elide = bool(elide_checks)
+        self.sym_prefix = sym_prefix
+        self.inline_kfuncs = bool(inline_kfuncs)
         self.safe_mem = frozenset(ann.safe_mem) if self.elide else frozenset()
         self.safe_div = frozenset(ann.safe_div) if self.elide else frozenset()
         self.globals: Dict[str, Any] = {
@@ -449,6 +484,18 @@ class _Compiler:
         }
         self._const_ptrs: Dict[Tuple[str, int], str] = {}
         self._kf_names: Dict[str, str] = {}
+        self._bound: Dict[str, str] = {}
+        #: Regions this program's stores may touch (conservative).
+        self.writes: Set[str] = set()
+        #: Exit terminator override (default: ``return r0 & MASK``).
+        self.exit_lines: Optional[List[str]] = None
+        #: Local name holding the step count at stage entry, or None
+        #: when the guard compares ``_steps`` against the bound directly.
+        self.step_base: Optional[str] = None
+        #: Whether any emitted back-edge needed the runaway guard.
+        self.used_step_guard = False
+        #: kfunc call sites expanded inline (``inline_kfuncs`` only).
+        self.inlined_calls = 0
         self.max_steps = (
             ann.states_explored
             + getattr(ann, "states_pruned", 0)
@@ -461,7 +508,7 @@ class _Compiler:
     def _const_ptr(self, region: str, off: int) -> str:
         name = self._const_ptrs.get((region, off))
         if name is None:
-            name = f"_P{len(self._const_ptrs)}"
+            name = f"_P{self.sym_prefix}{len(self._const_ptrs)}"
             self._const_ptrs[(region, off)] = name
             self.globals[name] = Pointer(region, off)
         return name
@@ -469,21 +516,65 @@ class _Compiler:
     def _kf(self, func: str) -> str:
         name = self._kf_names.get(func)
         if name is None:
-            name = f"_kf{len(self._kf_names)}"
+            name = f"_kf{self.sym_prefix}{len(self._kf_names)}"
             self._kf_names[func] = name
             self.globals[name] = self.registry.get(func).impl
         return name
 
+    def _bind(self, hint: str, value: Any) -> str:
+        """Bind a specialization constant (steering table, PRNG method,
+        sketch rows ...) into the closure's globals; inline-kfunc specs
+        call this to burn configuration into the generated code."""
+        name = self._bound.get(hint)
+        if name is None:
+            name = f"_c{self.sym_prefix}{hint}"
+            self._bound[hint] = name
+            self.globals[name] = value
+        return name
+
     # -- top level -------------------------------------------------------
 
-    def compile(self) -> CompiledProgram:
+    def prepare(self) -> None:
+        """CFG expansion, reachability, and type inference — everything
+        :meth:`emit_dispatch` needs, separated so the fuser can emit
+        several prepared programs into one function body."""
         prog, ann = self.prog, self.ann
-        loops = _select_loops(prog, dict(ann.loop_bounds))
-        nodes = _expand_nodes(prog, loops)
-        res = _Resolver(nodes, loops)
+        self._loops = _select_loops(prog, dict(ann.loop_bounds))
+        self._nodes = _expand_nodes(prog, self._loops)
+        self._res = _Resolver(self._nodes, self._loops)
+        self._reachable, succs = self._reachability(self._nodes, self._res)
+        self._entry_types = self._infer_types(
+            self._nodes, self._res, self._reachable, succs
+        )
 
-        reachable, succs = self._reachability(nodes, res)
-        entry_types = self._infer_types(nodes, res, reachable, succs)
+    def emit_dispatch(self, em: "_Emitter", level: int) -> None:
+        """Emit the prepared program's ``_b``-dispatch loop at ``level``.
+
+        Assumes r0..r10, the accounting accumulators, and the buffer
+        bindings from the standard prologue are in scope.  Exit blocks
+        terminate via ``self.exit_lines`` (or ``return`` by default).
+        """
+        res = self._res
+        em.emit(level, "_b = 0")
+        em.emit(level, "while True:")
+        for nd in self._nodes:
+            if nd.label not in self._reachable:
+                continue
+            em.emit(level + 1, f"if _b == {nd.label}:")
+            self._emit_node(
+                em, nd, res, list(self._entry_types[nd.label]), level + 2
+            )
+        if res.runaway_used:
+            em.emit(level + 1, f"if _b == {res.runaway_label}:")
+            em.emit(
+                level + 2,
+                "raise _VmFault('step limit exceeded (runaway program)')",
+            )
+        em.emit(level + 1, "raise _VmFault('fell off the end of the program')")
+
+    def compile(self) -> CompiledProgram:
+        prog = self.prog
+        self.prepare()
 
         em = _Emitter()
         fname = "_jit_" + re.sub(r"\W", "_", prog.name)
@@ -519,20 +610,7 @@ class _Compiler:
         ):
             em.emit(1, line)
         em.emit(1, "try:")
-        em.emit(2, "_b = 0")
-        em.emit(2, "while True:")
-        for nd in nodes:
-            if nd.label not in reachable:
-                continue
-            em.emit(3, f"if _b == {nd.label}:")
-            self._emit_node(em, nd, res, list(entry_types[nd.label]))
-        if res.runaway_used:
-            em.emit(3, f"if _b == {res.runaway_label}:")
-            em.emit(
-                4,
-                "raise _VmFault('step limit exceeded (runaway program)')",
-            )
-        em.emit(3, "raise _VmFault('fell off the end of the program')")
+        self.emit_dispatch(em, 2)
         em.emit(1, "finally:")
         for line in (
             "_stats.steps += _steps",
@@ -564,8 +642,9 @@ class _Compiler:
             source=source,
             prog_hash=program_hash(prog),
             elide_checks=self.elide,
-            n_nodes=len(reachable),
-            unrolled={s: N + 1 for (t, s, N) in loops},
+            n_nodes=len(self._reachable),
+            unrolled={s: N + 1 for (t, s, N) in self._loops},
+            writes=frozenset(self.writes),
         )
 
     # -- reachability ----------------------------------------------------
@@ -637,7 +716,12 @@ class _Compiler:
     # -- node emission ---------------------------------------------------
 
     def _emit_node(
-        self, em: _Emitter, nd: _Node, res: _Resolver, types: List[Any]
+        self,
+        em: _Emitter,
+        nd: _Node,
+        res: _Resolver,
+        types: List[Any],
+        level: int = 4,
     ) -> None:
         prog = self.prog
         body = _Emitter()
@@ -651,7 +735,11 @@ class _Compiler:
         last = prog[last_pc]
         terminator: List[str] = []
         if isinstance(last, Exit):
-            terminator = [f"return r0 & {_HEX_M}"]
+            terminator = (
+                list(self.exit_lines)
+                if self.exit_lines is not None
+                else [f"return r0 & {_HEX_M}"]
+            )
         else:
             n_steps += 1
             if isinstance(last, (Mov, Alu, Load, Store, Call)):
@@ -664,14 +752,14 @@ class _Compiler:
                 terminator = self._emit_jmp_if(nd, res, last_pc, last, types)
         # Header: folded per-node accounting constants.
         if n_steps:
-            em.emit(4, f"_steps += {n_steps}")
+            em.emit(level, f"_steps += {n_steps}")
         for name in ("eli", "mem", "div"):
             if tallies[name]:
-                em.emit(4, f"_{name} += {tallies[name]}")
+                em.emit(level, f"_{name} += {tallies[name]}")
         for line in body.lines:
-            em.emit(4, line)
+            em.emit(level, line)
         for line in terminator:
-            em.emit(4, line)
+            em.emit(level, line)
 
     def _goto(self, nd: _Node, res: _Resolver, target_pc: int) -> List[str]:
         if target_pc >= len(self.prog):
@@ -681,9 +769,15 @@ class _Compiler:
 
     def _goto_label(self, nd: _Node, lbl: int) -> List[str]:
         if lbl <= nd.label:
+            self.used_step_guard = True
+            counter = (
+                f"_steps - {self.step_base}"
+                if self.step_base is not None
+                else "_steps"
+            )
             return [
                 f"_b = {lbl}",
-                f"if _steps > {self.max_steps}:",
+                f"if {counter} > {self.max_steps}:",
                 "    raise _VmFault("
                 "'step limit exceeded (runaway program)')",
                 "continue",
@@ -957,6 +1051,11 @@ class _Compiler:
         if bt == T_INT:
             em.emit(0, f"raise _VmFault('store via non-pointer r{insn.base}')")
             return
+        if _is_ptr(bt) and bt[1] in ("pkt", "ctx", "stack"):
+            self.writes.add(bt[1])
+        else:
+            # Unknown base region: may write any buffer.
+            self.writes.update(("pkt", "ctx", "stack"))
 
         if _is_ptr(bt) and bt[1] == "stack" and st == T_INT:
             a_txt, a_const = self._addr_txt(insn.base, bt, insn.off)
@@ -1066,6 +1165,26 @@ class _Compiler:
                 f"raise _VmFault("
                 f"\"kfunc '{insn.func}' has no implementation bound\")",
             )
+            return
+        spec = (
+            getattr(meta.impl, "_fuse_inline", None)
+            if self.inline_kfuncs
+            else None
+        )
+        if spec is not None:
+            # Small-body kfunc inlined at the call site: the spec emits
+            # setup lines plus an int expression over the argument
+            # registers, with constants bound via ``self._bind`` —
+            # burning map dimensions and steering tables into the code.
+            # Only valid for RET_SCALAR impls whose expression equals
+            # ``int(impl(...)) & MASK64`` bit for bit.
+            arg_names = [f"r{R1 + i}" for i in range(len(meta.args))]
+            setup, expr = spec(arg_names, self._bind)
+            self.inlined_calls += 1
+            for line in setup:
+                em.emit(0, line)
+            em.emit(0, f"r0 = ({expr}) & {_HEX_M}")
+            em.emit(0, "r1 = r2 = r3 = r4 = r5 = 0")
             return
         args = "".join(f", r{R1 + i}" for i in range(len(meta.args)))
         em.emit(0, f"_res = {self._kf(insn.func)}(vm{args})")

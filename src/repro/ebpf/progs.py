@@ -467,6 +467,24 @@ def get_case(name: str) -> ProgCase:
     return _BUNDLED[name]
 
 
+#: The chainable bundled NFs, in pipeline order.  Maglev never returns
+#: ``XDP_PASS`` (its verdicts are TX/REDIRECT/DROP), so it only makes
+#: sense as a chain's final stage — which the fixed order guarantees.
+NF_CHAIN_STAGES = ("nf_classifier", "nf_cm_sketch", "nf_maglev_pick")
+
+
+def bundled_chains() -> Tuple[Tuple[str, ...], ...]:
+    """Every non-empty ordered subsequence of :data:`NF_CHAIN_STAGES` —
+    the chain combinations the fusion parity surface covers (7 total:
+    3 singles, 3 pairs, 1 triple)."""
+    names = NF_CHAIN_STAGES
+    out: List[Tuple[str, ...]] = []
+    for mask in range(1, 1 << len(names)):
+        out.append(tuple(n for i, n in enumerate(names) if mask >> i & 1))
+    out.sort(key=len)
+    return tuple(out)
+
+
 def runnable_registry(seed: int = 0) -> KfuncRegistry:
     """:func:`default_registry` metadata with deterministic impls bound.
 
@@ -536,6 +554,49 @@ def runnable_registry(seed: int = 0) -> KfuncRegistry:
 
     def maglev_pick(vm, flow_hash):
         return maglev[(int(flow_hash) & MASK64) % MAGLEV_TABLE_SIZE]
+
+    # -- fusion inline specs --------------------------------------------
+    # Small-body kfuncs publish a codegen spec the chain fuser
+    # (repro.ebpf.fuse) expands at the call site: (arg register names,
+    # bind) -> (setup lines, int expression).  ``bind`` burns closure
+    # state — the sketch rows, the Maglev steering table, the PRNG
+    # method — into the generated code's globals.  Each spec must be
+    # bit-identical to its impl: registers arrive already masked to 64
+    # bits, and the expression's value must equal ``int(impl(...))``.
+
+    def _inline_prandom(args, bind):
+        grb = bind("grb", rng.getrandbits)
+        return [], f"{grb}(32)"
+
+    prandom._fuse_inline = _inline_prandom
+
+    def _inline_cm_update(args, bind):
+        # The row loop unrolled with salts, mixer, and geometry burned
+        # in as literals; min() over the post-increment counts mirrors
+        # cm_update's running minimum.
+        rows = bind("cm", cm)
+        lines = [f"_ck = {args[0]}"]
+        mins = []
+        for i, salt in enumerate(_CM_SALTS):
+            lines.append(f"_cr{i} = {rows}[{i}]")
+            lines.append(
+                f"_cx{i} = ((((_ck ^ {salt}) * 0x2545F4914F6CDD1D)"
+                f" & {MASK64}) >> 32) & {CM_WIDTH - 1}"
+            )
+            lines.append(f"_cv{i} = _cr{i}[_cx{i}] + 1")
+            lines.append(f"_cr{i}[_cx{i}] = _cv{i}")
+            mins.append(f"_cv{i}")
+        return lines, f"min({', '.join(mins)})"
+
+    cm_update._fuse_inline = _inline_cm_update
+
+    def _inline_maglev_pick(args, bind):
+        # The whole steering table becomes a closure constant: one
+        # modulo plus one tuple index per packet.
+        table = bind("mgt", tuple(maglev))
+        return [], f"{table}[{args[0]} % {MAGLEV_TABLE_SIZE}]"
+
+    maglev_pick._fuse_inline = _inline_maglev_pick
 
     impls = {
         "bpf_get_prandom_u32": prandom,

@@ -12,13 +12,21 @@ range-aware verifier proved:
 - the JIT backend (``--backend jit``): every accepted program is
   lowered to its generated-Python closure with per-program compile
   time; adding ``--bench`` also executes each program on both backends
-  and reports interp/JIT cycle parity (see ``docs/JIT.md``).
+  and reports interp/JIT cycle parity (see ``docs/JIT.md``),
+- chain fusion (``--chains``): every bundled NF chain combination is
+  fused into one closure (:mod:`repro.ebpf.fuse`) and replayed on a
+  deterministic trace against the interpreted chain; the report pins
+  bit-identical verdicts, VM stats, and cycle accounting.
 
 ``--strict`` exits non-zero when any bundled program's verdict differs
 from its expected accept/reject or an accepted program elides zero
 checks it was expected to elide — the CI ``verify-smoke`` contract.
 Under ``--backend jit`` a compile failure or a parity mismatch is also
-an unexpected result.
+an unexpected result, as is any fused-chain divergence under
+``--chains``.  ``--bench`` and ``--chains`` JSON reports carry a
+``caches`` block (:func:`repro.ebpf.jit.cache_info` and
+:func:`repro.ebpf.fuse.cache_info`) so CI can assert cache hits
+instead of silently recompiling.
 
 Examples::
 
@@ -27,12 +35,14 @@ Examples::
     python -m repro.ebpf.verify --asm prog.s --explain
     python -m repro.ebpf.verify --json --strict
     python -m repro.ebpf.verify --backend jit --bench
+    python -m repro.ebpf.verify --chains --json --strict
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -116,6 +126,81 @@ def _jit_report(prog: Program, vp: VerifiedProgram,
             "cycles": vm.stats.insn_cycles + vm.stats.check_cycles,
         }
     out["parity"] = out["interp"] == out["jit"]
+    return out
+
+
+#: Chain-parity replay: packets per combo and the trace seed.
+_CHAIN_PACKETS = 96
+_CHAIN_SEED = 20260809
+
+
+def _chain_trace(n: int, seed: int) -> List[Any]:
+    """Deterministic synthetic 5-tuple trace for the chain parity runs."""
+    from ..net.packet import Packet
+
+    rng = random.Random(seed)
+    return [
+        Packet(
+            src_ip=rng.getrandbits(32),
+            dst_ip=rng.getrandbits(32),
+            src_port=rng.getrandbits(16),
+            dst_port=rng.getrandbits(16),
+            proto=rng.choice((6, 17)),
+            size=rng.randint(64, 1500),
+            timestamp_ns=rng.getrandbits(40),
+        )
+        for _ in range(n)
+    ]
+
+
+def _chain_report(combo: tuple, verifier: Verifier) -> Dict[str, Any]:
+    """Fuse one bundled chain combination and replay it on both the
+    interpreted and the fused backend; bit-for-bit observable compare."""
+    from ..net.irnf import IrChainNf
+    from .fuse import FuseError, fuse_chain
+    from .progs import runnable_registry
+    from .runtime import BpfRuntime
+
+    progs = [get_case(name).prog for name in combo]
+    verified = [verifier.verify(p) for p in progs]
+    t0 = time.perf_counter()
+    try:
+        fused = fuse_chain(runnable_registry(0), verified)
+    except FuseError as exc:
+        return {"chain": list(combo), "error": str(exc)}
+    out: Dict[str, Any] = {
+        "chain": list(combo),
+        "compile_ms": round((time.perf_counter() - t0) * 1e3, 3),
+        "n_nodes": fused.n_nodes,
+        "inlined_kfuncs": fused.inlined_kfuncs,
+    }
+    pkts = _chain_trace(_CHAIN_PACKETS, _CHAIN_SEED)
+    observed = {}
+    for backend in ("interp", "fused"):
+        rt = BpfRuntime()
+        nf = IrChainNf(
+            rt, verified, registry=runnable_registry(0), backend=backend
+        )
+        actions = nf.process_batch(pkts)
+        observed[backend] = (
+            tuple(nf.returns),
+            nf.stats.steps,
+            nf.stats.checks_performed,
+            nf.stats.checks_elided,
+            nf.stats.insn_cycles,
+            nf.stats.check_cycles,
+            rt.cycles.total,
+            tuple(sorted((c.name, v) for c, v in
+                         rt.cycles.snapshot().by_category.items())),
+        )
+        out[backend] = {
+            "actions": dict(sorted(actions.items())),
+            "steps": nf.stats.steps,
+            "checks_performed": nf.stats.checks_performed,
+            "checks_elided": nf.stats.checks_elided,
+            "cycles": rt.cycles.total,
+        }
+    out["parity"] = observed["interp"] == observed["fused"]
     return out
 
 
@@ -247,6 +332,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="with --backend jit: execute each accepted program on both "
              "backends and report interp/JIT cycle parity",
     )
+    parser.add_argument(
+        "--chains", action="store_true",
+        help="fuse every bundled NF chain combination and replay it "
+             "against the interpreted chain (bit-identical parity report)",
+    )
     args = parser.parse_args(argv)
     if args.bench and args.backend != "jit":
         parser.error("--bench requires --backend jit")
@@ -330,6 +420,50 @@ def main(argv: Optional[List[str]] = None) -> int:
             _print_result(result, case, args.explain)
             _print_jit(result)
 
+    if args.chains:
+        from .progs import bundled_chains
+
+        report["chains"] = []
+        for combo in bundled_chains():
+            cr = _chain_report(combo, verifier)
+            report["chains"].append(cr)
+            label = " -> ".join(combo)
+            if "error" in cr:
+                report["unexpected"].append(
+                    f"chain {label}: fuse failed: {cr['error']}"
+                )
+            elif not cr["parity"]:
+                report["unexpected"].append(
+                    f"chain {label}: interp/fused parity mismatch"
+                )
+            if not args.json:
+                if "error" in cr:
+                    print(f"FUSE FAIL  {label}: {cr['error']}")
+                else:
+                    verdict = "parity OK" if cr["parity"] else "PARITY MISMATCH"
+                    print(
+                        f"FUSED   {label}  ({cr['n_nodes']} nodes, "
+                        f"{cr['inlined_kfuncs']} kfuncs inlined, "
+                        f"{cr['fused']['cycles']} cyc; {verdict})"
+                    )
+
+    if args.bench or args.chains:
+        from .fuse import cache_info as fuse_cache_info
+        from .jit import cache_info as jit_cache_info
+
+        report["caches"] = {
+            "jit": jit_cache_info(),
+            "fused": fuse_cache_info(),
+        }
+        if not args.json:
+            jc, fc = report["caches"]["jit"], report["caches"]["fused"]
+            print(
+                f"caches: jit {jc['entries']} entries "
+                f"({jc['hits']} hits/{jc['misses']} misses), "
+                f"fused {fc['entries']} entries "
+                f"({fc['hits']} hits/{fc['misses']} misses)"
+            )
+
     n = len(report["programs"])
     accepted = sum(1 for r in report["programs"] if r["verdict"] == "accept")
     report["summary"] = {
@@ -346,6 +480,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             r.get("loops_bounded", 0) for r in report["programs"]),
         "unexpected": len(report["unexpected"]),
     }
+    if args.chains:
+        report["summary"]["chains"] = len(report["chains"])
+        report["summary"]["chains_parity_ok"] = sum(
+            1 for c in report["chains"] if c.get("parity"))
     if args.json:
         print(json.dumps(report, indent=2))
     else:

@@ -149,15 +149,215 @@ class IrNf:
         ``RssDispatcher`` fast path: one verdict-count dict per batch.
 
         Per-packet semantics and accounting are identical to
-        :meth:`process` (each packet still gets a fresh VM); what the
-        batch path amortizes is the pipeline's per-packet dispatch, and
-        — with ``backend="jit"`` — the compiled closure is looked up
-        once per attach, not per packet.  No clock reads here, per the
-        batching contract in :mod:`repro.net.xdp`.
+        :meth:`process` (each packet still gets a fresh VM), but the
+        per-packet Python glue is hoisted out of the inner loop: stats
+        aggregation and cycle charges accumulate in locals and flush
+        once per batch (in a ``finally``, so an aborted batch still
+        books its executed prefix), and r0 -> action mapping runs once
+        per distinct verdict instead of once per packet.  No clock
+        reads here, per the batching contract in :mod:`repro.net.xdp`.
         """
+        registry = self.registry
+        prog = self.prog
+        verified = self.verified
+        costs = self.rt.costs
+        elide = self.elide_checks
+        backend = self.backend
+        append = self.returns.append
+        raw: Dict[int, int] = {}
+        steps = performed = elided = icyc = ccyc = 0
+        try:
+            for pkt in batch:
+                vm = Vm(
+                    registry,
+                    packet=encode_packet(pkt),
+                    proofs=verified,
+                    costs=costs,
+                    elide_checks=elide,
+                    backend=backend,
+                )
+                r0 = vm.run(prog)
+                s = vm.stats
+                steps += s.steps
+                performed += s.checks_performed
+                elided += s.checks_elided
+                icyc += s.insn_cycles
+                ccyc += s.check_cycles
+                append(r0)
+                raw[r0] = raw.get(r0, 0) + 1
+        finally:
+            st = self.stats
+            st.steps += steps
+            st.checks_performed += performed
+            st.checks_elided += elided
+            st.insn_cycles += icyc
+            st.check_cycles += ccyc
+            if icyc:
+                self.rt.charge(icyc, Category.OTHER)
+            if ccyc:
+                self.rt.charge(ccyc, Category.FRAMEWORK)
         counts: Dict[str, int] = {}
-        process = self.process
-        for pkt in batch:
-            action = process(pkt)
-            counts[action] = counts.get(action, 0) + 1
+        for r0, n in raw.items():
+            action = XDP_RETURN_CODES.get(r0, XdpAction.ABORTED)
+            counts[action] = counts.get(action, 0) + n
         return counts
+
+
+#: The raw verdict that forwards a packet to the next chain stage.
+PASS_R0 = 2
+
+
+class IrChainNf:
+    """An ordered chain of verified IR programs attached as one NF.
+
+    Chain semantics mirror a multi-program XDP pipeline: each stage
+    sees the freshly encoded packet; a stage returning ``XDP_PASS``
+    (r0 == 2) hands the packet to the next stage, any other verdict is
+    final and later stages never run.  The chain's ``returns`` records
+    each packet's *final* r0; ``stats`` aggregates VM statistics across
+    all executed stages.
+
+    Three backends, bit-identical by contract:
+
+    - ``"interp"`` — a fresh interpreted VM per packet per stage.
+    - ``"jit"`` — per-program compiled closures
+      (:mod:`repro.ebpf.jit`), still a fresh VM and interpreted glue
+      between stages.
+    - ``"fused"`` — the whole chain *and* the batch loop compiled into
+      one closure (:mod:`repro.ebpf.fuse`) running against a single
+      persistent VM; verdict mapping, stats aggregation, and cycle
+      charges are folded to per-batch constants.
+    """
+
+    def __init__(
+        self,
+        rt: BpfRuntime,
+        progs: Sequence[Union[Program, VerifiedProgram]],
+        registry: Optional[KfuncRegistry] = None,
+        elide_checks: bool = True,
+        seed: int = 0,
+        backend: str = "interp",
+    ) -> None:
+        if not progs:
+            raise ValueError("chain needs at least one program")
+        self.rt = rt
+        self.registry = registry if registry is not None else runnable_registry(seed)
+        verifier: Optional[Verifier] = None
+        self.verified: List[VerifiedProgram] = []
+        for p in progs:
+            if isinstance(p, VerifiedProgram):
+                self.verified.append(p)
+            else:
+                if verifier is None:
+                    verifier = Verifier(self.registry)
+                self.verified.append(verifier.verify(p))
+        self.progs = [vp.prog for vp in self.verified]
+        self.elide_checks = elide_checks
+        if backend not in ("interp", "jit", "fused"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.stats = VmStats()
+        self.returns: List[int] = []
+        if backend == "jit":
+            from ..ebpf.jit import compiled_for
+
+            for vp in self.verified:
+                compiled_for(self.registry, vp.prog, vp, elide_checks)
+        elif backend == "fused":
+            from ..ebpf.fuse import fused_for
+
+            # Attach-time fusion (cached by stage hashes): the first
+            # batch pays no compile latency.
+            self._fused = fused_for(
+                self.registry,
+                self.verified,
+                elide_checks=elide_checks,
+                costs=rt.costs,
+            )
+            #: The persistent VM the fused closure recycles across
+            #: stages and packets (sound: the verifier guarantees
+            #: initialized-before-read on the stack; pkt/ctx are
+            #: refreshed by generated code exactly where needed).
+            self._vm = Vm(self.registry, costs=rt.costs)
+
+    def _run_stages(self, packet: Packet) -> int:
+        """Interp/jit path: run stages on fresh VMs until a non-PASS
+        verdict; aggregates stats and charges exactly like IrNf."""
+        enc = encode_packet(packet)
+        vm_backend = "jit" if self.backend == "jit" else "interp"
+        st = self.stats
+        rt = self.rt
+        r0 = PASS_R0
+        for vp in self.verified:
+            vm = Vm(
+                self.registry,
+                packet=enc,
+                proofs=vp,
+                costs=rt.costs,
+                elide_checks=self.elide_checks,
+                backend=vm_backend,
+            )
+            r0 = vm.run(vp.prog)
+            s = vm.stats
+            st.steps += s.steps
+            st.checks_performed += s.checks_performed
+            st.checks_elided += s.checks_elided
+            st.insn_cycles += s.insn_cycles
+            st.check_cycles += s.check_cycles
+            rt.charge(s.insn_cycles, Category.OTHER)
+            if s.check_cycles:
+                rt.charge(s.check_cycles, Category.FRAMEWORK)
+            if r0 != PASS_R0:
+                break
+        return r0
+
+    def process(self, packet: Packet) -> str:
+        if self.backend == "fused":
+            self._fused.fn(self, (packet,))
+            r0 = self.returns[-1]
+        else:
+            r0 = self._run_stages(packet)
+            self.returns.append(r0)
+        return XDP_RETURN_CODES.get(r0, XdpAction.ABORTED)
+
+    def process_batch(self, batch: Sequence[Packet]) -> Dict[str, int]:
+        """Batched chain replay; with ``backend="fused"`` the whole
+        batch runs inside the fused closure — one Python call per
+        batch, raw verdicts mapped to actions once per distinct r0."""
+        if self.backend == "fused":
+            raw = self._fused.fn(self, batch)
+        else:
+            run = self._run_stages
+            append = self.returns.append
+            raw = {}
+            for pkt in batch:
+                r0 = run(pkt)
+                append(r0)
+                raw[r0] = raw.get(r0, 0) + 1
+        counts: Dict[str, int] = {}
+        for r0, n in raw.items():
+            action = XDP_RETURN_CODES.get(r0, XdpAction.ABORTED)
+            counts[action] = counts.get(action, 0) + n
+        return counts
+
+
+class FusedIrChain(IrChainNf):
+    """:class:`IrChainNf` pinned to the fused backend — the one-call
+    whole-pipeline data plane (:mod:`repro.ebpf.fuse`)."""
+
+    def __init__(
+        self,
+        rt: BpfRuntime,
+        progs: Sequence[Union[Program, VerifiedProgram]],
+        registry: Optional[KfuncRegistry] = None,
+        elide_checks: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            rt,
+            progs,
+            registry=registry,
+            elide_checks=elide_checks,
+            seed=seed,
+            backend="fused",
+        )

@@ -637,6 +637,55 @@ class RssDispatcher:
 # Per-CPU state aggregation for sharded sketch NFs
 # ---------------------------------------------------------------------------
 
+def chain_nf_factory(
+    progs: Sequence,
+    backend: str = "fused",
+    registry_seed: int = 0,
+    elide_checks: bool = True,
+    nf_seed: int = 0,
+) -> Callable[[int], NetworkFunction]:
+    """Build an ``nf_factory`` for :class:`RssDispatcher` that runs an
+    IR NF *chain* on every core.
+
+    Each core gets a fresh private :class:`~repro.ebpf.runtime.BpfRuntime`,
+    a fresh kfunc registry (``runnable_registry(registry_seed + core)`` —
+    per-CPU sketch rows and steering tables, seed-decorrelated like the
+    fault injectors), and a fresh
+    :class:`~repro.net.irnf.IrChainNf` with the requested ``backend``
+    (``"interp"``, ``"jit"``, or ``"fused"``).  Verification happens once
+    up front; every core shares the same :class:`VerifiedProgram` proofs
+    (they are immutable) but nothing mutable.
+    """
+    from ..ebpf.progs import runnable_registry
+    from ..ebpf.runtime import BpfRuntime
+    from ..ebpf.verifier import VerifiedProgram, Verifier
+    from .irnf import IrChainNf
+
+    verifier: Optional[Verifier] = None
+    verified: List[VerifiedProgram] = []
+    for p in progs:
+        if isinstance(p, VerifiedProgram):
+            verified.append(p)
+        else:
+            if verifier is None:
+                verifier = Verifier(registry=runnable_registry(registry_seed))
+            verified.append(verifier.verify(p))
+
+    def factory(core_id: int) -> NetworkFunction:
+        rt = BpfRuntime()
+        registry = runnable_registry(seed=registry_seed + core_id)
+        return IrChainNf(
+            rt,
+            verified,
+            registry=registry,
+            elide_checks=elide_checks,
+            seed=nf_seed + core_id,
+            backend=backend,
+        )
+
+    return factory
+
+
 def merged_countmin_rows(nfs: Sequence) -> List[List[int]]:
     """Sum sharded count-min rows across cores (control-plane fold)."""
     _check_same_shape(nfs)
