@@ -1,0 +1,324 @@
+"""Latency & SLO-recovery benchmark (PR 8's acceptance numbers).
+
+Not a pytest module — run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_slo.py [--quick] [--out PATH]
+
+Measures, and self-asserts, the latency-faithful receive path and the
+SLO control loop on top of it:
+
+1. **Latency vs offered load** — a fixed 4-core fleet under steady
+   Poisson arrivals from well under to well over capacity, plus one
+   flash-crowd run: p50/p95/p99 sojourn latency and queue-overflow
+   drops per operating point.  Latency must rise monotonically from
+   the lightest to the heaviest load, overflow must appear only past
+   saturation, and cycle totals must be bit-identical to a run with
+   the queueing model off (the determinism contract).
+2. **Disruption: crash vs wedge** — the SLO controller drives the same
+   scenario with a core crash and a core wedge: time-to-SLO (first
+   breach -> sustained compliance) is recorded for each; the wedge
+   must lose packets before detection, the crash must not.
+3. **Autoscaler ablation** — the acceptance scenario: a crash leaves a
+   2-of-4-core fleet under-provisioned for the offered load.  With the
+   autoscaler the parked cores absorb the breach and p99 returns under
+   target; with a fixed fleet (and the dead core gone for good) it
+   never does.  Asserted, both ways, plus run-to-run determinism.
+
+Results land in ``BENCH_PR8.json`` next to the repo root; the CI
+``slo-smoke`` job re-runs ``--quick`` and re-checks the JSON schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.analysis.hostmeta import host_metadata
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.faults import FaultPlan, WedgeDetection
+from repro.net.flowgen import FlowGenerator
+from repro.net.multicore import RssDispatcher
+from repro.net.queueing import ArrivalProcess, QueueingConfig
+from repro.net.slo import SloConfig, SloController
+from repro.nfs import CountMinNF
+from repro.nfs.degrade import ColdStartWarmup
+
+N_CORES = 4
+N_FLOWS = 1024
+ZIPF_S = 1.1
+TARGET_P99_US = 60.0
+#: Steady offered loads (pps): ~0.2x, 0.5x, 0.9x, 1.2x, 2.4x of what a
+#: 4-core count-min fleet sustains (~20 Mpps).
+LOADS = (4e6, 1e7, 1.8e7, 2.4e7, 4.8e7)
+
+
+def factory(core: int) -> CountMinNF:
+    return CountMinNF(BpfRuntime(mode=ExecMode.ENETSTL, seed=core), depth=4)
+
+
+def bursty_trace(n_packets: int, arrivals: ArrivalProcess):
+    fg = FlowGenerator(
+        n_flows=N_FLOWS, seed=5, distribution="zipf", zipf_s=ZIPF_S
+    )
+    return list(fg.iter_trace_bursty(n_packets, arrivals))
+
+
+def latency_suite(n_packets: int) -> dict:
+    out = {
+        "n_packets": n_packets,
+        "n_cores": N_CORES,
+        "loads": {},
+    }
+    p99s = []
+    for pps in LOADS:
+        trace = bursty_trace(n_packets, ArrivalProcess(pps, seed=5))
+        result = RssDispatcher(
+            factory, n_cores=N_CORES, queueing=QueueingConfig()
+        ).run(trace)
+        assert result.is_fully_accounted, (
+            f"{pps} pps: accounting broken: {result.accounting()}"
+        )
+        summary = result.latency_summary()
+        out["loads"][f"{pps:.0f}"] = {
+            "latency": summary,
+            "overflow": result.overflow_drops,
+            "accounting": result.accounting(),
+        }
+        p99s.append(summary["p99_us"])
+    assert p99s == sorted(p99s), (
+        f"p99 must rise with offered load, got {p99s}"
+    )
+    light = out["loads"][f"{LOADS[0]:.0f}"]
+    heavy = out["loads"][f"{LOADS[-1]:.0f}"]
+    assert light["overflow"] == 0, "no overflow far below capacity"
+    assert heavy["overflow"] > 0, "sustained 2.4x overload must overflow"
+
+    # Flash crowd: steady base, a burst past capacity, back to base.
+    flash = ArrivalProcess.flash_crowd(
+        8e6, 4.8e7, lead_s=0.0002, burst_s=0.0004, seed=5
+    )
+    result = RssDispatcher(
+        factory, n_cores=N_CORES, queueing=QueueingConfig()
+    ).run(bursty_trace(n_packets, flash))
+    assert result.is_fully_accounted
+    steady_p99 = out["loads"][f"{LOADS[0]:.0f}"]["latency"]["p99_us"]
+    out["flash_crowd"] = {
+        "spec": flash.describe(),
+        "latency": result.latency_summary(),
+        "overflow": result.overflow_drops,
+    }
+    assert out["flash_crowd"]["latency"]["p99_us"] > steady_p99, (
+        "the flash crowd must push the tail past the steady baseline"
+    )
+
+    # Determinism contract: the model adds information, never charges.
+    trace = bursty_trace(min(n_packets, 6000), ArrivalProcess(1e7, seed=5))
+    plain = RssDispatcher(factory, n_cores=N_CORES).run(trace)
+    queued = RssDispatcher(
+        factory, n_cores=N_CORES, queueing=QueueingConfig()
+    ).run(trace)
+    assert queued.total_cycles == plain.total_cycles, (
+        "queueing on/off must not change cycle totals"
+    )
+    assert queued.actions == plain.actions
+    out["queueing_off_identity"] = {
+        "total_cycles": plain.total_cycles,
+        "identical": True,
+    }
+    return out
+
+
+def controlled_run(
+    trace,
+    *,
+    autoscale: bool,
+    rejoin_epochs: int,
+    faults: FaultPlan = None,
+    detection: WedgeDetection = None,
+):
+    return SloController(
+        factory,
+        max_cores=N_CORES,
+        initial_cores=2,
+        queueing=QueueingConfig(),
+        config=SloConfig(
+            target_p99_us=TARGET_P99_US,
+            epoch_packets=512,
+            autoscale=autoscale,
+            rejoin_epochs=rejoin_epochs,
+        ),
+        faults=faults,
+        detection=detection,
+        warmup=ColdStartWarmup(),
+    ).run(trace)
+
+
+def disruption_suite(n_packets: int) -> dict:
+    trace = bursty_trace(n_packets, ArrivalProcess(8e6, seed=5))
+    out = {"n_packets": n_packets, "target_p99_us": TARGET_P99_US}
+    for kind, plan in (
+        ("crash", FaultPlan(crash_core=1, crash_at=1500)),
+        ("wedge", FaultPlan(wedge_core=1, wedge_at=1500)),
+    ):
+        run = controlled_run(
+            trace,
+            autoscale=True,
+            rejoin_epochs=4,
+            faults=plan,
+            detection=WedgeDetection(
+                mean_packets=512, min_packets=64, seed=2
+            ),
+        )
+        assert run.is_fully_accounted, (
+            f"{kind}: accounting broken: {run.accounting()}"
+        )
+        assert len(run.failures) == 1 and run.failures[0].kind == kind
+        recovery = run.recovery_s()
+        assert recovery is not None, f"{kind}: fleet never recovered"
+        out[kind] = {
+            "failure": run.failures[0].describe(),
+            "recovery_s": recovery,
+            "worst_p99_us": run.worst_p99_us,
+            "violating_epochs": run.violating_epochs(),
+            "latency": run.latency_summary(),
+            "accounting": run.accounting(),
+        }
+    # A wedge silently eats packets until detected; a crash does not.
+    assert out["wedge"]["failure"]["lost"] > 0
+    assert out["crash"]["failure"]["lost"] == 0
+    return out
+
+
+def ablation_suite(n_packets: int) -> dict:
+    trace = bursty_trace(n_packets, ArrivalProcess(8e6, seed=5))
+    plan = FaultPlan(crash_core=1, crash_at=1500)
+    scaled = controlled_run(
+        trace, autoscale=True, rejoin_epochs=0, faults=plan
+    )
+    fixed = controlled_run(
+        trace, autoscale=False, rejoin_epochs=0, faults=plan
+    )
+    assert scaled.is_fully_accounted and fixed.is_fully_accounted
+    assert scaled.violating_epochs(), "the crash must breach the SLO"
+    assert scaled.recovery_s() is not None, (
+        "with the autoscaler, p99 must return under target"
+    )
+    assert fixed.recovery_s() is None, (
+        "without it (and the core gone for good), it must not"
+    )
+    assert (
+        scaled.latency_summary()["p99_us"] < fixed.latency_summary()["p99_us"]
+    )
+
+    again = controlled_run(
+        trace, autoscale=True, rejoin_epochs=0, faults=plan
+    )
+    deterministic = (
+        [e.describe() for e in again.timeline]
+        == [e.describe() for e in scaled.timeline]
+        and again.latencies_ns == scaled.latencies_ns
+    )
+    assert deterministic, "same scenario must replay bit-identically"
+
+    def summarize(run):
+        return {
+            "latency": run.latency_summary(),
+            "worst_p99_us": run.worst_p99_us,
+            "violating_epochs": run.violating_epochs(),
+            "recovery_s": run.recovery_s(),
+            "accounting": run.accounting(),
+            "timeline": [e.describe() for e in run.timeline],
+        }
+
+    return {
+        "n_packets": n_packets,
+        "target_p99_us": TARGET_P99_US,
+        "scenario": "2 of 4 cores active, core 1 crashes at packet 1500, "
+        "8 Mpps steady offered load, dead core never repaired",
+        "autoscale_on": summarize(scaled),
+        "autoscale_off": summarize(fixed),
+        "deterministic": deterministic,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (fewer packets; same assertions)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+    n_packets = 10_000 if args.quick else 24_000
+
+    print(f"latency vs offered load ({n_packets} packets/point) ...")
+    latency = latency_suite(n_packets)
+    for pps, entry in latency["loads"].items():
+        lat = entry["latency"]
+        print(
+            f"  {float(pps)/1e6:5.1f} Mpps: p50 {lat['p50_us']:7.1f}  "
+            f"p95 {lat['p95_us']:7.1f}  p99 {lat['p99_us']:7.1f} us, "
+            f"overflow {entry['overflow']}"
+        )
+    flash = latency["flash_crowd"]["latency"]
+    print(f"  flash crowd: p99 {flash['p99_us']:.1f} us, "
+          f"overflow {latency['flash_crowd']['overflow']}")
+
+    print("disruption suite (crash vs wedge, SLO loop on) ...")
+    disruption = disruption_suite(max(n_packets, 12_000))
+    for kind in ("crash", "wedge"):
+        entry = disruption[kind]
+        print(
+            f"  {kind}: lost {entry['failure']['lost']}, time-to-SLO "
+            f"{entry['recovery_s'] * 1e3:.2f} ms, worst p99 "
+            f"{entry['worst_p99_us']:.1f} us"
+        )
+
+    print("autoscaler ablation ...")
+    ablation = ablation_suite(max(n_packets, 12_000))
+    on, off = ablation["autoscale_on"], ablation["autoscale_off"]
+    print(
+        f"  on:  p99 {on['latency']['p99_us']:6.1f} us, recovery "
+        f"{on['recovery_s'] * 1e3:.2f} ms"
+    )
+    print(
+        f"  off: p99 {off['latency']['p99_us']:6.1f} us, recovery never "
+        f"({len(off['violating_epochs'])} violating epochs)"
+    )
+
+    payload = {
+        "benchmark": "PR8 latency-faithful receive path + SLO-aware "
+        "resilience control loop",
+        "host": host_metadata(),
+        "quick": args.quick,
+        "target_p99_us": TARGET_P99_US,
+        "latency_vs_load": latency,
+        "disruption": disruption,
+        "autoscaler_ablation": ablation,
+        "zero_uncaught_exceptions": True,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    print(
+        f"  acceptance: autoscaled p99 recovers to "
+        f"{TARGET_P99_US:.0f} us in {on['recovery_s'] * 1e3:.2f} ms; "
+        f"fixed fleet never does"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ The chaos-harness CLI lives in ``python -m repro.faults``.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, fields
 from typing import Dict, Optional
@@ -130,6 +131,23 @@ class FaultPlan:
         for name in ("crash_at", "wedge_at"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+        for name in ("crash_core", "wedge_core"):
+            core = getattr(self, name)
+            if core is not None and core < 0:
+                raise ValueError(
+                    f"{name} must be a non-negative core index, got {core} "
+                    f"(use None for no {name.split('_')[0]})"
+                )
+        if (
+            self.crash_core is not None
+            and self.crash_core == self.wedge_core
+        ):
+            raise ValueError(
+                f"core {self.crash_core} cannot both crash and wedge: a "
+                "crashed worker is detectably dead, a wedged one is not — "
+                "pick one fault per core (crash_core and wedge_core may "
+                "name different cores)"
+            )
 
     @classmethod
     def uniform(cls, rate: float, seed: int = 0, **overrides) -> "FaultPlan":
@@ -169,6 +187,25 @@ class FaultPlan:
     def injector(self, core: int = 0) -> "FaultInjector":
         """A fresh injector for ``core`` (per-core decorrelated seed)."""
         return FaultInjector(self, core=core)
+
+    def validate_for_cores(self, n_cores: int) -> None:
+        """Reject core-level faults naming cores the fleet doesn't have.
+
+        The plan itself doesn't know the fleet size, so this runs where
+        the two meet (:class:`~repro.net.multicore.RssDispatcher` and
+        the SLO controller call it at attach time) — a crash scheduled
+        on core 9 of an 8-core fleet would otherwise silently never
+        fire.
+        """
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        for name in ("crash_core", "wedge_core"):
+            core = getattr(self, name)
+            if core is not None and core >= n_cores:
+                raise ValueError(
+                    f"{name}={core} names a nonexistent core: the fleet "
+                    f"has cores 0..{n_cores - 1}"
+                )
 
     def crash_point(self, core: int) -> Optional[int]:
         """Packet index at which ``core`` dies, or None."""
@@ -298,12 +335,70 @@ class FaultInjector:
         }
 
 
+@dataclass(frozen=True)
+class WedgeDetection:
+    """Probabilistic wedge-detection latency (the watchdog's reality).
+
+    PR 3's watchdog declared a wedged core dead after a *fixed* number
+    of lost packets.  Real detectors (missed heartbeats, stall
+    samplers, queue-depth probes) have a detection-latency
+    *distribution*: memoryless checks mean the time-to-detect is
+    (shifted-)exponentially distributed around the detector's period.
+    This model draws each core's detection deadline — in lost packets,
+    the unit the watchdog counts — from
+
+    ``deadline(core) = min + Exp(mean - min)``
+
+    using the same counter-indexed hashing as every other fault
+    stream, so a given ``(seed, core)`` always detects after the same
+    backlog, bit for bit, while different cores (and seeds) see
+    realistically spread detection latencies.  ``mean`` is the knob
+    comparable to PR 3's fixed deadline; ``min_packets`` is the floor
+    no detector can beat (you cannot notice a stall before anything
+    is missing).
+    """
+
+    mean_packets: int = 1024
+    min_packets: int = 64
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_packets <= 0:
+            raise ValueError(
+                f"min_packets must be positive, got {self.min_packets}"
+            )
+        if self.mean_packets < self.min_packets:
+            raise ValueError(
+                f"mean_packets ({self.mean_packets}) must be >= "
+                f"min_packets ({self.min_packets})"
+            )
+
+    def deadline_for(self, core: int) -> int:
+        """Lost packets before ``core``'s wedge is declared (>= 1)."""
+        if core < 0:
+            raise ValueError("core must be non-negative")
+        if self.mean_packets == self.min_packets:
+            return self.min_packets
+        h = fast_hash32((core << 9) ^ 0xDE7EC7, self.seed)
+        u = (h + 0.5) / 4294967296.0
+        spread = self.mean_packets - self.min_packets
+        return self.min_packets + int(-math.log(1.0 - u) * spread)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "mean_packets": self.mean_packets,
+            "min_packets": self.min_packets,
+            "seed": self.seed,
+        }
+
+
 __all__ = [
     "CORE_CRASH",
     "CORE_WEDGE",
     "ERRNO",
     "FaultInjector",
     "FaultPlan",
+    "WedgeDetection",
     "HELPER",
     "HelperFaultError",
     "MAP_FULL",

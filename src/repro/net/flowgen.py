@@ -118,6 +118,18 @@ class FlowGenerator:
         """Materialized trace (replayable, deterministic)."""
         return list(self.packets(n_packets, inter_arrival_ns))
 
+    def iter_trace_bursty(self, n_packets: int, arrivals) -> Iterator[Packet]:
+        """Streaming trace re-timed onto a bursty arrival process.
+
+        ``arrivals`` is a :class:`repro.net.queueing.ArrivalProcess`
+        (steady rate, bursts, flash crowds — with deterministic Poisson
+        jitter); flow choice stays this generator's distribution while
+        arrival *times* come from the process.  The spelling the
+        latency-faithful replay path (``RssDispatcher(queueing=...)``)
+        expects its traces in.
+        """
+        return arrivals.stamp(self.packets(n_packets))
+
 
 def rate_to_inter_arrival_ns(pps: float) -> int:
     """Inter-arrival gap for a target packet rate."""

@@ -74,8 +74,9 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 from ..core.algorithms.hashing import fast_hash32
 from ..ebpf.cost_model import CPU_HZ, Category, NumaTopology
 from ..ebpf.percpu import or_words, sum_counts, sum_matrices
-from ..faults import PKT_DUP, FaultInjector, FaultPlan
+from ..faults import PKT_DUP, FaultInjector, FaultPlan, WedgeDetection
 from .packet import Packet, XdpAction
+from .queueing import CoreQueue, QueueingConfig, latency_summary_us
 from .steering import RSS_HASH_SEED, RssSteering, SteeringPolicy, make_policy
 from .xdp import (
     DEFAULT_BATCH_SIZE,
@@ -107,7 +108,11 @@ class CoreFailure:
     fault; ``lost`` counts packets that sat in its queue and were never
     processed (wedge only — a crash is detected immediately, so nothing
     queues behind it); ``resteered`` counts packets redirected to
-    surviving cores after detection.
+    surviving cores after detection.  ``repacked`` is True when the
+    steering policy rebuilt its placement table over the survivors
+    (fault-aware re-pack) instead of relying on the failover hash — in
+    that case ``resteered`` stays 0, because no packet ever reaches
+    the dead queue to be redirected.
     """
 
     core: int
@@ -115,6 +120,7 @@ class CoreFailure:
     processed: int = 0
     lost: int = 0
     resteered: int = 0
+    repacked: bool = False
 
     def describe(self) -> Dict[str, object]:
         return {
@@ -123,6 +129,7 @@ class CoreFailure:
             "processed": self.processed,
             "lost": self.lost,
             "resteered": self.resteered,
+            "repacked": self.repacked,
         }
 
 
@@ -169,6 +176,11 @@ class MulticoreResult:
     failures: List[CoreFailure] = field(default_factory=list)
     #: Fleet-wide injected-fault counts by kind (empty: no fault plan).
     injected: Dict[str, int] = field(default_factory=dict)
+    #: Per-packet sojourn times (queue wait + deferral + service, plus
+    #: wire) from the queueing model; empty when queueing is off.
+    latencies_ns: List[int] = field(default_factory=list)
+    #: Per-core queue-overflow drops (RX ring full; queueing only).
+    overflow: List[int] = field(default_factory=list)
 
     @property
     def n_cores(self) -> int:
@@ -185,9 +197,18 @@ class MulticoreResult:
         return sum(self.actions.get(a, 0) for a in FORWARD_ACTIONS)
 
     @property
+    def overflow_drops(self) -> int:
+        """Packets dropped on arrival because a core's RX ring was full."""
+        return sum(self.overflow)
+
+    @property
     def dropped(self) -> int:
-        """NF drop verdicts plus packets lost behind failed cores."""
-        return self.actions.get(XdpAction.DROP, 0) + self.lost
+        """NF drop verdicts, watchdog losses, and RX-ring overflow."""
+        return (
+            self.actions.get(XdpAction.DROP, 0)
+            + self.lost
+            + self.overflow_drops
+        )
 
     @property
     def aborted(self) -> int:
@@ -230,7 +251,34 @@ class MulticoreResult:
             "dropped": self.dropped,
             "aborted": self.aborted,
             "lost": self.lost,
+            "overflow": self.overflow_drops,
         }
+
+    # -- latency (queueing model) ---------------------------------------
+
+    def latency_percentile_us(self, p: float) -> float:
+        """Sojourn-time percentile in µs (0.0 without the queueing model)."""
+        if not self.latencies_ns:
+            return 0.0
+        from .stats import percentile
+
+        return percentile(self.latencies_ns, p) / 1000.0
+
+    @property
+    def p50_latency_us(self) -> float:
+        return self.latency_percentile_us(50.0)
+
+    @property
+    def p95_latency_us(self) -> float:
+        return self.latency_percentile_us(95.0)
+
+    @property
+    def p99_latency_us(self) -> float:
+        return self.latency_percentile_us(99.0)
+
+    def latency_summary(self) -> Dict[str, float]:
+        """The p50/p95/p99 block (see :func:`latency_summary_us`)."""
+        return latency_summary_us(self.latencies_ns)
 
     @property
     def total_cycles(self) -> int:
@@ -376,7 +424,22 @@ class RssDispatcher:
     detected immediately (worker death) and its remaining traffic
     re-steered to survivors; a wedged core silently eats packets until
     ``watchdog_deadline`` of them are lost, then it too is declared dead
-    and re-steered around.
+    and re-steered around.  ``detection`` swaps the fixed deadline for a
+    :class:`~repro.faults.WedgeDetection` model that draws each core's
+    detection latency from a distribution; ``repack_on_failure`` lets a
+    table-owning steering policy rebuild its placement over the
+    survivors (see :meth:`SteeringPolicy.repack`) instead of hashing
+    dead-core traffic onto them.
+
+    ``queueing`` attaches the receive-path latency model
+    (:class:`~repro.net.queueing.QueueingConfig`): packets arrive on
+    their timestamps into bounded per-core RX rings, coalesce into
+    batches, and are serviced on a softirq-deferred single server whose
+    busy time is the batch's measured cycle cost — the result then
+    carries per-packet sojourn times (p50/p95/p99) and queue-overflow
+    drops.  With ``queueing=None`` the original path runs untouched:
+    cycle totals and fault schedules are bit-identical to a build
+    without the model.
     """
 
     def __init__(
@@ -389,11 +452,16 @@ class RssDispatcher:
         numa: Optional[NumaTopology] = None,
         faults: Optional[FaultPlan] = None,
         watchdog_deadline: int = DEFAULT_WATCHDOG_DEADLINE,
+        queueing: Optional[QueueingConfig] = None,
+        detection: Optional[WedgeDetection] = None,
+        repack_on_failure: bool = False,
     ) -> None:
         if n_cores <= 0:
             raise ValueError("n_cores must be positive")
         if watchdog_deadline <= 0:
             raise ValueError("watchdog_deadline must be positive")
+        if faults is not None:
+            faults.validate_for_cores(n_cores)
         self.n_cores = n_cores
         self.hash_seed = hash_seed
         if steering is None:
@@ -409,6 +477,9 @@ class RssDispatcher:
         self.numa = numa
         self.faults = faults
         self.watchdog_deadline = watchdog_deadline
+        self.queueing = queueing
+        self.detection = detection
+        self.repack_on_failure = repack_on_failure
         self.nfs: List[NetworkFunction] = [
             nf_factory(core) for core in range(n_cores)
         ]
@@ -431,6 +502,15 @@ class RssDispatcher:
 
     def queue_of(self, packet: Packet) -> int:
         return self.steering.queue_of(packet)
+
+    def _deadlines(self) -> List[int]:
+        """Per-core wedge-detection deadlines (packets lost before dead)."""
+        if self.detection is not None:
+            return [
+                self.detection.deadline_for(core)
+                for core in range(self.n_cores)
+            ]
+        return [self.watchdog_deadline] * self.n_cores
 
     def run(
         self,
@@ -465,6 +545,11 @@ class RssDispatcher:
         """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.queueing is not None:
+            return self._run_queued(
+                trace, batch_size=batch_size, use_batch=use_batch,
+                advance_clock=advance_clock,
+            )
         stream = iter(trace)
         policy = self.steering
         if policy.sample_size > 0:
@@ -515,7 +600,7 @@ class RssDispatcher:
             wedged = [False] * n_cores
             fed = [0] * n_cores
             failure_of: Dict[int, CoreFailure] = {}
-            deadline = self.watchdog_deadline
+            deadlines = self._deadlines()
 
             def declare_dead(queue: int, kind: str) -> None:
                 alive[queue] = False
@@ -525,6 +610,13 @@ class RssDispatcher:
                 )
                 failures.append(record)
                 failure_of[queue] = record
+                survivors = [c for c in range(n_cores) if alive[c]]
+                if (
+                    self.repack_on_failure
+                    and survivors
+                    and policy.repack(survivors)
+                ):
+                    record.repacked = True
 
             def failover_queue(key: int) -> int:
                 survivors = [c for c in range(n_cores) if alive[c]]
@@ -555,7 +647,7 @@ class RssDispatcher:
                     # Wedged core: packets pile up unprocessed.  Once
                     # the pile crosses the deadline, the watchdog fires.
                     lost[queue] += len(buf)
-                    if alive[queue] and lost[queue] >= deadline:
+                    if alive[queue] and lost[queue] >= deadlines[queue]:
                         declare_dead(queue, "wedge")
                     return
                 point = crash_at.get(queue)
@@ -582,7 +674,7 @@ class RssDispatcher:
                     del wedge_at[queue]
                     wedged[queue] = True
                     lost[queue] += len(tail)
-                    if lost[queue] >= deadline:
+                    if lost[queue] >= deadlines[queue]:
                         declare_dead(queue, "wedge")
                     return
                 sessions[queue].feed(buf)
@@ -630,6 +722,249 @@ class RssDispatcher:
             lost=sum(lost),
             failures=failures,
             injected=injected,
+        )
+
+    def _run_queued(
+        self,
+        trace: Iterable[Packet],
+        batch_size: int,
+        use_batch: bool,
+        advance_clock: bool,
+    ) -> MulticoreResult:
+        """The latency-faithful replay path (``queueing`` attached).
+
+        A discrete-event loop driven by packet timestamps: each frame
+        arrives into its steered core's bounded RX ring (full ring ==
+        overflow drop), rings close into batches when full or when the
+        oldest frame times out, and a batch is picked up at
+        ``max(batch ready, server free)`` — the single-server NAPI
+        discipline that makes queues *build up* under overload.  The
+        batch's service time is its **measured** cycle delta through
+        the same :class:`ReplaySession` the plain path uses, so NF
+        cycle totals are identical with the model on or off; queueing
+        adds per-packet sojourn times and overflow accounting on top.
+
+        The watchdog semantics mirror :meth:`run` in fed-packet terms:
+        a crash splits the in-flight batch at the crash point, is
+        detected immediately, and everything behind it re-arrives on
+        the survivors at detection time; a wedge stops consumption —
+        ring content and later arrivals count as lost until the
+        detection deadline fires.
+        """
+        cfg = self.queueing
+        assert cfg is not None
+        stream = iter(trace)
+        policy = self.steering
+        if policy.sample_size > 0:
+            sample = list(islice(stream, policy.sample_size))
+            policy.prepare(sample)
+            stream = chain(sample, stream)
+        sessions = [
+            ReplaySession(
+                pipeline, advance_clock=advance_clock, use_batch=use_batch
+            )
+            for pipeline in self.pipelines
+        ]
+        n_cores = self.n_cores
+        queues = [CoreQueue(cfg, batch_size) for _ in range(n_cores)]
+        queue_of = policy.queue_of
+        plan = self.faults
+        crash_at: Dict[int, int] = {}
+        wedge_at: Dict[int, int] = {}
+        if plan is not None:
+            for core in range(n_cores):
+                point = plan.crash_point(core)
+                if point is not None:
+                    crash_at[core] = point
+                point = plan.wedge_point(core)
+                if point is not None:
+                    wedge_at[core] = point
+        packets_in = 0
+        lost = [0] * n_cores
+        failures: List[CoreFailure] = []
+        alive = [True] * n_cores
+        wedged = [False] * n_cores
+        fed = [0] * n_cores
+        failure_of: Dict[int, CoreFailure] = {}
+        deadlines = self._deadlines()
+        latencies: List[int] = []
+        wire_ns = cfg.wire_ns
+        timeout_ns = cfg.batch_timeout_ns
+        numa_pen = [
+            self.numa.packet_penalty_cycles(core, n_cores)
+            if self.numa is not None else 0
+            for core in range(n_cores)
+        ]
+        now = 0
+
+        def declare_dead(queue: int, kind: str) -> None:
+            alive[queue] = False
+            record = CoreFailure(
+                core=queue, kind=kind,
+                processed=fed[queue], lost=lost[queue],
+            )
+            failures.append(record)
+            failure_of[queue] = record
+            survivors = [c for c in range(n_cores) if alive[c]]
+            if (
+                self.repack_on_failure
+                and survivors
+                and policy.repack(survivors)
+            ):
+                record.repacked = True
+
+        def failover_queue(key: int) -> int:
+            survivors = [c for c in range(n_cores) if alive[c]]
+            if not survivors:
+                raise AllCoresDeadError(
+                    "every core has failed; traffic has nowhere to go"
+                )
+            return survivors[fast_hash32(key, FAILOVER_SEED) % len(survivors)]
+
+        def enqueue(pkt: Packet, at_ns: int) -> None:
+            queue = queue_of(pkt)
+            if not alive[queue]:
+                record = failure_of.get(queue)
+                if record is not None:
+                    record.resteered += 1
+                queue = failover_queue(pkt.key_int)
+            if wedged[queue]:
+                # The core stopped consuming: the frame will never be
+                # serviced.  It piles up toward the detection deadline.
+                lost[queue] += 1
+                if alive[queue] and lost[queue] >= deadlines[queue]:
+                    declare_dead(queue, "wedge")
+                return
+            queues[queue].offer(pkt, at_ns)
+
+        def do_service(
+            core: int,
+            batch: List[Packet],
+            arrivals: List[int],
+            pickup_ns: int,
+        ) -> None:
+            cycles = sessions[core].pipeline.rt.cycles
+            before = cycles.total
+            sessions[core].feed(batch)
+            fed[core] += len(batch)
+            service_cyc = (
+                cycles.total - before + numa_pen[core] * len(batch)
+            )
+            service_ns = service_cyc * 1_000_000_000 // CPU_HZ
+            for soj in queues[core].complete(arrivals, pickup_ns, service_ns):
+                latencies.append(soj + wire_ns)
+
+        def feed_measured(
+            core: int,
+            batch: List[Packet],
+            arrivals: List[int],
+            pickup_ns: int,
+        ) -> None:
+            point = crash_at.get(core)
+            if point is not None and fed[core] + len(batch) > point:
+                split = point - fed[core]
+                head, h_arr = batch[:split], arrivals[:split]
+                rest = batch[split:]
+                if head:
+                    do_service(core, head, h_arr, pickup_ns)
+                del crash_at[core]
+                declare_dead(core, "crash")
+                # Worker death is observed immediately: the split-off
+                # tail and everything still in the dead ring re-arrive
+                # on the survivors at detection time.
+                leftover, _ = queues[core].drain()
+                detect_ns = max(now, pickup_ns)
+                for pkt in rest:
+                    enqueue(pkt, detect_ns)
+                for pkt in leftover:
+                    enqueue(pkt, detect_ns)
+                return
+            point = wedge_at.get(core)
+            if point is not None and fed[core] + len(batch) > point:
+                split = point - fed[core]
+                head, h_arr = batch[:split], arrivals[:split]
+                tail = batch[split:]
+                if head:
+                    do_service(core, head, h_arr, pickup_ns)
+                del wedge_at[core]
+                wedged[core] = True
+                leftover, _ = queues[core].drain()
+                lost[core] += len(tail) + len(leftover)
+                if lost[core] >= deadlines[core]:
+                    declare_dead(core, "wedge")
+                return
+            do_service(core, batch, arrivals, pickup_ns)
+
+        def flush_due(horizon_ns: Optional[int]) -> None:
+            """Serve every batch whose pickup time is <= the horizon.
+
+            A core's next pickup is ``max(batch ready, server free)``:
+            ready is the fill instant for a full batch, the coalesce
+            deadline for a partial one.  ``None`` drains everything
+            (end of stream).
+            """
+            while True:
+                best = None
+                for c in range(n_cores):
+                    if not alive[c] or wedged[c]:
+                        continue
+                    q = queues[c]
+                    if not q.pending:
+                        continue
+                    if len(q.pending) >= batch_size:
+                        ready = q.arrivals[batch_size - 1]
+                    else:
+                        ready = q.arrivals[0] + timeout_ns
+                    pickup = max(ready, q.server_free_ns)
+                    if horizon_ns is not None and pickup > horizon_ns:
+                        continue
+                    if best is None or (pickup, c) < best:
+                        best = (pickup, c)
+                if best is None:
+                    return
+                pickup, core = best
+                batch, arrivals = queues[core].take()
+                feed_measured(core, batch, arrivals, pickup)
+
+        for pkt in stream:
+            packets_in += 1
+            ts = pkt.timestamp_ns
+            if ts > now:
+                now = ts
+            flush_due(now)
+            enqueue(pkt, now)
+        flush_due(None)
+        # A wedge that never hit the deadline is still dead at end of
+        # stream — teardown notices and accounts for it.
+        for queue in range(n_cores):
+            if wedged[queue] and alive[queue]:
+                declare_dead(queue, "wedge")
+
+        per_core = [session.finish() for session in sessions]
+        actions = sum_counts([r.actions for r in per_core])
+        numa_cycles: List[int] = []
+        if self.numa is not None:
+            numa_cycles = [
+                numa_pen[core] * result.n_packets
+                for core, result in enumerate(per_core)
+            ]
+        injected: Dict[str, int] = {}
+        if plan is not None:
+            injected = dict(sum_counts([
+                dict(injector.injected)
+                for injector in self.injectors
+                if injector is not None
+            ]))
+        return MulticoreResult(
+            per_core=per_core,
+            actions=actions,
+            numa_cycles=numa_cycles,
+            packets_in=packets_in,
+            lost=sum(lost),
+            failures=failures,
+            injected=injected,
+            latencies_ns=latencies,
+            overflow=[q.overflowed for q in queues],
         )
 
 

@@ -1,0 +1,868 @@
+"""SLO-aware resilience control loop over the queueing model.
+
+The queueing model (:mod:`repro.net.queueing`) makes tail latency an
+*output*; this module closes the loop and makes it a *target*.  A
+:class:`SloController` drives a provisioned fleet of per-core pipelines
+through a timestamped trace in fixed-size **epochs**, and after every
+epoch it observes p50/p95/p99 sojourn latency and acts:
+
+- **Fault-aware steering.**  Flows map to cores through a bucketed
+  :class:`IndirectionTable` (the RSS indirection table / ``ethtool -X``
+  abstraction).  When a core dies or is parked, only the buckets that
+  pointed at it move — a minimal-disruption re-pack, not a rehash of
+  the world — so surviving flows keep their affinity and their per-CPU
+  NF state.
+- **Partial recovery.**  A crashed core rejoins ``rejoin_epochs``
+  later with a *fresh* NF instance (per-CPU state is gone) and pays a
+  :class:`~repro.nfs.degrade.ColdStartWarmup` service-time penalty
+  that decays as its sketches refill (coupon-collector curve) — the
+  p99 dip-and-recover shape real partial recoveries show.
+- **Probabilistic wedge detection.**  A wedged core is declared dead
+  once its lost-packet pile crosses a per-core deadline drawn from
+  :class:`~repro.faults.WedgeDetection` (shifted-exponential detection
+  latency) instead of one fixed watchdog constant.
+- **Autoscaling.**  :class:`CoreAutoscaler` adds a parked core when
+  p99 breaches the target and parks one when p99 sits far below it —
+  with hysteresis (separate high/low water marks), a cooldown between
+  actions, and exponential backoff on scale-ups that fail to bring the
+  fleet back under target.
+
+Everything is deterministic: same trace + same seeds -> the identical
+timeline of :class:`EpochStats`, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.algorithms.hashing import fast_hash32
+from ..ebpf.cost_model import CPU_HZ
+from ..faults import PKT_DUP, FaultPlan, WedgeDetection
+from ..nfs.degrade import ColdStartWarmup
+from .multicore import (
+    AllCoresDeadError,
+    CoreFailure,
+    DEFAULT_WATCHDOG_DEADLINE,
+    FAILOVER_SEED,
+)
+from .packet import Packet, XdpAction
+from .queueing import CoreQueue, QueueingConfig, latency_summary_us
+from .stats import percentile
+from .steering import RSS_HASH_SEED
+from .xdp import (
+    DEFAULT_BATCH_SIZE,
+    FORWARD_ACTIONS,
+    NetworkFunction,
+    ReplaySession,
+    XdpPipeline,
+)
+
+__all__ = [
+    "CoreAutoscaler",
+    "EpochStats",
+    "IndirectionTable",
+    "SloConfig",
+    "SloController",
+    "SloRun",
+    "time_to_slo_s",
+]
+
+
+class IndirectionTable:
+    """Bucketed flow -> core placement with minimal-disruption re-pack.
+
+    ``table_size`` buckets; each flow hashes to one bucket and every
+    bucket names one core — the RSS indirection table.  ``repack``
+    rewrites *only* the buckets whose core left the active set (plus
+    the fewest needed to even out a grown set), so a failure or a
+    scaling action moves the minimum number of flow groups.
+    """
+
+    def __init__(
+        self, table_size: int = 128, hash_seed: int = RSS_HASH_SEED
+    ) -> None:
+        if table_size <= 0:
+            raise ValueError("table_size must be positive")
+        self.table_size = table_size
+        self.hash_seed = hash_seed
+        self.table: List[int] = [0] * table_size
+        self._active: List[int] = [0]
+        #: Buckets rewritten by the most recent :meth:`repack`.
+        self.last_moved = 0
+
+    def assign(self, cores: Sequence[int]) -> None:
+        """Spread the buckets round-robin over ``cores`` (fresh start)."""
+        active = sorted(set(cores))
+        if not active:
+            raise ValueError("need at least one core")
+        self.table = [
+            active[i % len(active)] for i in range(self.table_size)
+        ]
+        self._active = active
+        self.last_moved = self.table_size
+
+    def repack(self, cores: Sequence[int]) -> int:
+        """Re-target buckets so only ``cores`` appear; returns moved count.
+
+        Buckets already on a surviving core stay put; orphaned buckets
+        go to the currently least-loaded survivors; if the set *grew*,
+        buckets migrate from the most-loaded cores onto the newcomers
+        until the spread is within one bucket of even.
+        """
+        active = sorted(set(cores))
+        if not active:
+            raise ValueError("need at least one core")
+        alive = set(active)
+        counts: Dict[int, int] = {core: 0 for core in active}
+        orphans: List[int] = []
+        for slot, core in enumerate(self.table):
+            if core in alive:
+                counts[core] += 1
+            else:
+                orphans.append(slot)
+        moved = 0
+        for slot in orphans:
+            target = min(counts, key=lambda c: (counts[c], c))
+            self.table[slot] = target
+            counts[target] += 1
+            moved += 1
+        # Even out toward newcomers: cap every core at ceil(size/n).
+        cap = -(-self.table_size // len(active))
+        want = [c for c in active if counts[c] < cap - 1]
+        if want:
+            for slot, core in enumerate(self.table):
+                if not want:
+                    break
+                if counts[core] > cap:
+                    target = want[0]
+                    self.table[slot] = target
+                    counts[core] -= 1
+                    counts[target] += 1
+                    moved += 1
+                    if counts[target] >= cap - 1:
+                        want.pop(0)
+        self._active = active
+        self.last_moved = moved
+        return moved
+
+    def core_of(self, key: int) -> int:
+        return self.table[
+            fast_hash32(key, self.hash_seed) % self.table_size
+        ]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "table_size": self.table_size,
+            "active": list(self._active),
+            "last_moved": self.last_moved,
+        }
+
+
+class CoreAutoscaler:
+    """Hysteresis + cooldown + backoff p99-targeting core scaler.
+
+    Per epoch, :meth:`decide` sees the epoch's p99 and the active core
+    count and returns ``"up"``, ``"down"``, or ``"hold"``:
+
+    - **up** when ``p99 > high_water * target`` and a parked core is
+      available;
+    - **down** when ``p99 < low_water * target`` (the hysteresis band
+      keeps up/down from oscillating around one threshold);
+    - otherwise **hold**.
+
+    After any action the scaler holds for ``cooldown_epochs`` so the
+    fleet's latency can settle.  A scale-up that *fails* — p99 still
+    over target once the cooldown expires — doubles the wait before
+    the next attempt (retry with exponential backoff, capped at
+    ``max_backoff_epochs``); one compliant epoch resets the backoff.
+    """
+
+    def __init__(
+        self,
+        min_cores: int,
+        max_cores: int,
+        target_p99_us: float,
+        high_water: float = 1.0,
+        low_water: float = 0.5,
+        cooldown_epochs: int = 2,
+        max_backoff_epochs: int = 8,
+    ) -> None:
+        if min_cores <= 0:
+            raise ValueError("min_cores must be positive")
+        if max_cores < min_cores:
+            raise ValueError("max_cores must be >= min_cores")
+        if target_p99_us <= 0:
+            raise ValueError("target_p99_us must be positive")
+        if not 0 < low_water < high_water:
+            raise ValueError(
+                "need 0 < low_water < high_water "
+                f"(got {low_water} / {high_water})"
+            )
+        if cooldown_epochs < 0:
+            raise ValueError("cooldown_epochs must be non-negative")
+        if max_backoff_epochs < cooldown_epochs:
+            raise ValueError("max_backoff_epochs must be >= cooldown_epochs")
+        self.min_cores = min_cores
+        self.max_cores = max_cores
+        self.target_p99_us = target_p99_us
+        self.high_water = high_water
+        self.low_water = low_water
+        self.cooldown_epochs = cooldown_epochs
+        self.max_backoff_epochs = max_backoff_epochs
+        self._hold = 0
+        self._backoff = cooldown_epochs
+        self._last_was_up = False
+        self.scale_ups = 0
+        self.scale_downs = 0
+
+    def decide(self, p99_us: float, active_count: int) -> str:
+        over = p99_us > self.high_water * self.target_p99_us
+        under = p99_us < self.low_water * self.target_p99_us
+        if not over:
+            # Back under target: the last scale-up worked, reset backoff.
+            self._backoff = self.cooldown_epochs
+            self._last_was_up = False
+        if self._hold > 0:
+            self._hold -= 1
+            return "hold"
+        if over and self._last_was_up:
+            # Previous scale-up expired its cooldown without fixing the
+            # breach: retry, but wait longer before judging again.
+            self._backoff = min(self._backoff * 2, self.max_backoff_epochs)
+        if over and active_count < self.max_cores:
+            self.scale_ups += 1
+            self._hold = max(self._backoff, 1) - 1
+            self._last_was_up = True
+            return "up"
+        if under and active_count > self.min_cores:
+            self.scale_downs += 1
+            self._hold = max(self.cooldown_epochs, 1) - 1
+            self._last_was_up = False
+            return "down"
+        return "hold"
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "min_cores": self.min_cores,
+            "max_cores": self.max_cores,
+            "target_p99_us": self.target_p99_us,
+            "high_water": self.high_water,
+            "low_water": self.low_water,
+            "cooldown_epochs": self.cooldown_epochs,
+            "max_backoff_epochs": self.max_backoff_epochs,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+        }
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """Targets and cadence of the control loop."""
+
+    target_p99_us: float = 60.0
+    epoch_packets: int = 2048
+    autoscale: bool = True
+    min_cores: int = 1
+    high_water: float = 1.0
+    low_water: float = 0.5
+    cooldown_epochs: int = 2
+    max_backoff_epochs: int = 8
+    #: Epochs a dead core stays down before rejoining (0: never).
+    rejoin_epochs: int = 4
+
+    def __post_init__(self) -> None:
+        if self.target_p99_us <= 0:
+            raise ValueError("target_p99_us must be positive")
+        if self.epoch_packets <= 0:
+            raise ValueError("epoch_packets must be positive")
+        if self.min_cores <= 0:
+            raise ValueError("min_cores must be positive")
+        if not 0 < self.low_water < self.high_water:
+            raise ValueError(
+                "need 0 < low_water < high_water "
+                f"(got {self.low_water} / {self.high_water})"
+            )
+        if self.cooldown_epochs < 0:
+            raise ValueError("cooldown_epochs must be non-negative")
+        if self.max_backoff_epochs < self.cooldown_epochs:
+            raise ValueError("max_backoff_epochs must be >= cooldown_epochs")
+        if self.rejoin_epochs < 0:
+            raise ValueError("rejoin_epochs must be non-negative")
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "target_p99_us": self.target_p99_us,
+            "epoch_packets": self.epoch_packets,
+            "autoscale": self.autoscale,
+            "min_cores": self.min_cores,
+            "high_water": self.high_water,
+            "low_water": self.low_water,
+            "cooldown_epochs": self.cooldown_epochs,
+            "max_backoff_epochs": self.max_backoff_epochs,
+            "rejoin_epochs": self.rejoin_epochs,
+        }
+
+
+@dataclass
+class EpochStats:
+    """One control epoch: what the fleet saw and what the loop did."""
+
+    epoch: int
+    start_ns: int
+    end_ns: int
+    packets: int
+    active_cores: List[int]
+    p50_us: float = 0.0
+    p95_us: float = 0.0
+    p99_us: float = 0.0
+    overflow: int = 0
+    lost: int = 0
+    #: Control-plane events this epoch ("crash core=2", "scale-up", ...).
+    events: List[str] = field(default_factory=list)
+
+    @property
+    def n_active(self) -> int:
+        return len(self.active_cores)
+
+    def meets(self, target_p99_us: float) -> bool:
+        return self.p99_us <= target_p99_us
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "packets": self.packets,
+            "active_cores": list(self.active_cores),
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "overflow": self.overflow,
+            "lost": self.lost,
+            "events": list(self.events),
+        }
+
+
+@dataclass
+class SloRun:
+    """Full outcome of one controlled replay: timeline + accounting."""
+
+    timeline: List[EpochStats]
+    config: SloConfig
+    packets_in: int = 0
+    forwarded: int = 0
+    nf_dropped: int = 0
+    aborted: int = 0
+    duplicated: int = 0
+    lost: int = 0
+    overflow: int = 0
+    latencies_ns: List[int] = field(default_factory=list)
+    failures: List[CoreFailure] = field(default_factory=list)
+
+    @property
+    def dropped(self) -> int:
+        return self.nf_dropped + self.lost + self.overflow
+
+    @property
+    def is_fully_accounted(self) -> bool:
+        return (
+            self.packets_in + self.duplicated
+            == self.forwarded + self.dropped + self.aborted
+        )
+
+    def accounting(self) -> Dict[str, int]:
+        return {
+            "packets_in": self.packets_in,
+            "duplicated": self.duplicated,
+            "forwarded": self.forwarded,
+            "dropped": self.dropped,
+            "aborted": self.aborted,
+            "lost": self.lost,
+            "overflow": self.overflow,
+        }
+
+    def latency_summary(self) -> Dict[str, float]:
+        return latency_summary_us(self.latencies_ns)
+
+    @property
+    def worst_p99_us(self) -> float:
+        return max((e.p99_us for e in self.timeline), default=0.0)
+
+    def violating_epochs(self) -> List[int]:
+        """Epoch indices whose p99 breached the configured target."""
+        return [
+            e.epoch for e in self.timeline
+            if not e.meets(self.config.target_p99_us)
+        ]
+
+    def recovery_s(self, settle_epochs: int = 2) -> Optional[float]:
+        """Time from the first SLO breach back to sustained compliance.
+
+        Sustained means ``settle_epochs`` consecutive compliant epochs;
+        returns None if the run never breached, or breached and never
+        recovered.  This is the benchmark's *time-to-SLO* metric.
+        """
+        return time_to_slo_s(
+            self.timeline, self.config.target_p99_us, settle_epochs
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "config": self.config.describe(),
+            "accounting": self.accounting(),
+            "latency": self.latency_summary(),
+            "worst_p99_us": self.worst_p99_us,
+            "violating_epochs": self.violating_epochs(),
+            "recovery_s": self.recovery_s(),
+            "failures": [f.describe() for f in self.failures],
+            "timeline": [e.describe() for e in self.timeline],
+        }
+
+
+def time_to_slo_s(
+    timeline: Sequence[EpochStats],
+    target_p99_us: float,
+    settle_epochs: int = 2,
+) -> Optional[float]:
+    """Seconds from the first p99 breach to sustained compliance.
+
+    Measured from the *end* of the first violating epoch to the end of
+    the first of ``settle_epochs`` consecutive compliant epochs.  None
+    when nothing ever breached, or the breach never healed.
+    """
+    if settle_epochs <= 0:
+        raise ValueError("settle_epochs must be positive")
+    breach_ns: Optional[int] = None
+    streak = 0
+    for e in timeline:
+        if not e.meets(target_p99_us):
+            if breach_ns is None:
+                breach_ns = e.end_ns
+            streak = 0
+        elif breach_ns is not None:
+            streak += 1
+            if streak >= settle_epochs:
+                return (e.end_ns - breach_ns) / 1e9
+    return None
+
+
+class SloController:
+    """Epoch-driven SLO loop over a provisioned per-core fleet.
+
+    ``nf_factory(core)`` provisions ``max_cores`` pipelines up front
+    (one private runtime per core, like
+    :class:`~repro.net.multicore.RssDispatcher`); ``initial_cores`` of
+    them start active, the rest are parked headroom for the
+    autoscaler.  :meth:`run` replays a *timestamped* trace through the
+    queueing model (same mechanics as the dispatcher's latency path)
+    and closes a control epoch every ``config.epoch_packets``
+    arrivals.
+
+    Failures come from an optional :class:`~repro.faults.FaultPlan`
+    (``crash_core`` / ``wedge_core``, per-core packet counts), wedge
+    detection from ``detection`` (falling back to a fixed deadline),
+    and a rejoining core pays ``warmup``'s cold-sketch service
+    penalty.  The whole run is a pure function of its inputs.
+    """
+
+    def __init__(
+        self,
+        nf_factory: Callable[[int], NetworkFunction],
+        max_cores: int,
+        config: Optional[SloConfig] = None,
+        queueing: Optional[QueueingConfig] = None,
+        initial_cores: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+        detection: Optional[WedgeDetection] = None,
+        warmup: Optional[ColdStartWarmup] = None,
+        watchdog_deadline: int = DEFAULT_WATCHDOG_DEADLINE,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        table_size: int = 128,
+        hash_seed: int = RSS_HASH_SEED,
+        charge_framework: bool = True,
+    ) -> None:
+        if max_cores <= 0:
+            raise ValueError("max_cores must be positive")
+        self.config = config or SloConfig()
+        if self.config.min_cores > max_cores:
+            raise ValueError(
+                f"config.min_cores={self.config.min_cores} exceeds "
+                f"max_cores={max_cores}"
+            )
+        if initial_cores is None:
+            initial_cores = max_cores
+        if not self.config.min_cores <= initial_cores <= max_cores:
+            raise ValueError(
+                f"initial_cores={initial_cores} must lie in "
+                f"[{self.config.min_cores}, {max_cores}]"
+            )
+        if watchdog_deadline <= 0:
+            raise ValueError("watchdog_deadline must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if faults is not None:
+            faults.validate_for_cores(max_cores)
+        self.nf_factory = nf_factory
+        self.max_cores = max_cores
+        self.initial_cores = initial_cores
+        self.queueing = queueing or QueueingConfig()
+        self.faults = faults
+        self.detection = detection
+        self.warmup = warmup
+        self.watchdog_deadline = watchdog_deadline
+        self.batch_size = batch_size
+        self.charge_framework = charge_framework
+        self.table = IndirectionTable(table_size, hash_seed=hash_seed)
+        self.autoscaler = CoreAutoscaler(
+            min_cores=self.config.min_cores,
+            max_cores=max_cores,
+            target_p99_us=self.config.target_p99_us,
+            high_water=self.config.high_water,
+            low_water=self.config.low_water,
+            cooldown_epochs=self.config.cooldown_epochs,
+            max_backoff_epochs=self.config.max_backoff_epochs,
+        )
+
+    def _deadline_for(self, core: int) -> int:
+        if self.detection is not None:
+            return self.detection.deadline_for(core)
+        return self.watchdog_deadline
+
+    def _build_session(self, core: int) -> ReplaySession:
+        nf = self.nf_factory(core)
+        injector = (
+            self.faults.injector(core) if self.faults is not None else None
+        )
+        pipeline = XdpPipeline(
+            nf, charge_framework=self.charge_framework, faults=injector
+        )
+        return ReplaySession(pipeline)
+
+    def run(self, trace: Iterable[Packet]) -> SloRun:
+        cfg = self.queueing
+        conf = self.config
+        n = self.max_cores
+        batch_size = self.batch_size
+        timeout_ns = cfg.batch_timeout_ns
+        wire_ns = cfg.wire_ns
+        warmup = self.warmup
+
+        sessions: List[ReplaySession] = [
+            self._build_session(core) for core in range(n)
+        ]
+        queues = [CoreQueue(cfg, batch_size) for _ in range(n)]
+        active = sorted(range(self.initial_cores))
+        parked = set(range(self.initial_cores, n))
+        self.table.assign(active)
+
+        plan = self.faults
+        crash_at: Dict[int, int] = {}
+        wedge_at: Dict[int, int] = {}
+        if plan is not None:
+            for core in range(n):
+                point = plan.crash_point(core)
+                if point is not None:
+                    crash_at[core] = point
+                point = plan.wedge_point(core)
+                if point is not None:
+                    wedge_at[core] = point
+
+        is_active = [core in active for core in range(n)]
+        wedged = [False] * n
+        fed = [0] * n
+        lost = [0] * n
+        #: Packets served since the core last (re)joined cold.
+        since_join = [0] * n
+        #: Cores that ever ran: a parked-from-birth core joins cold.
+        cold = [True] * n
+        rejoin_at: Dict[int, int] = {}
+        failures: List[CoreFailure] = []
+        latencies: List[int] = []
+        epoch_lat: List[int] = []
+        timeline: List[EpochStats] = []
+        events: List[str] = []
+        packets_in = 0
+        epoch = 0
+        epoch_start_ns = 0
+        now = 0
+        lost_at_epoch = 0
+        over_at_epoch = 0
+
+        def active_list() -> List[int]:
+            return [c for c in range(n) if is_active[c]]
+
+        def deactivate(core: int) -> None:
+            is_active[core] = False
+            survivors = active_list()
+            if not survivors:
+                raise AllCoresDeadError(
+                    "every core has failed; traffic has nowhere to go"
+                )
+            self.table.repack(survivors)
+            # Frames stranded in the ring re-arrive on the survivors.
+            stranded, _ = queues[core].drain()
+            for pkt in stranded:
+                steer(pkt, now)
+
+        def fail(core: int, kind: str) -> None:
+            record = CoreFailure(
+                core=core, kind=kind, processed=fed[core],
+                lost=lost[core], repacked=True,
+            )
+            failures.append(record)
+            events.append(f"{kind} core={core}")
+            wedged[core] = False
+            deactivate(core)
+            if conf.rejoin_epochs > 0:
+                rejoin_at[core] = epoch + conf.rejoin_epochs
+
+        def join(core: int, reason: str) -> None:
+            """Activate a parked or rejoining core (cold if new/reborn)."""
+            is_active[core] = True
+            if cold[core]:
+                since_join[core] = 0
+            cold[core] = False
+            self.table.repack(active_list())
+            events.append(f"{reason} core={core}")
+
+        def steer(pkt: Packet, at_ns: int) -> None:
+            core = self.table.core_of(pkt.key_int)
+            if not is_active[core]:
+                # Stale bucket (mid-repack window): flow-affine failover.
+                # Wedged-but-undetected cores count as survivors — the
+                # control plane cannot route around a fault it has not
+                # detected yet.
+                survivors = active_list()
+                if not survivors:
+                    raise AllCoresDeadError(
+                        "every core has failed; traffic has nowhere to go"
+                    )
+                core = survivors[
+                    fast_hash32(pkt.key_int, FAILOVER_SEED) % len(survivors)
+                ]
+            if wedged[core]:
+                lost[core] += 1
+                if lost[core] >= self._deadline_for(core):
+                    fail(core, "wedge")
+                return
+            queues[core].offer(pkt, at_ns)
+
+        def do_service(
+            core: int,
+            batch: List[Packet],
+            arrivals: List[int],
+            pickup_ns: int,
+        ) -> None:
+            cycles = sessions[core].pipeline.rt.cycles
+            before = cycles.total
+            sessions[core].feed(batch)
+            fed[core] += len(batch)
+            service_cyc = cycles.total - before
+            if warmup is not None:
+                # Midpoint of the batch approximates the decaying
+                # per-packet cold penalty without per-packet exp calls.
+                m = len(batch)
+                service_cyc += m * warmup.penalty_at(
+                    since_join[core] + m // 2
+                )
+            since_join[core] += len(batch)
+            service_ns = service_cyc * 1_000_000_000 // CPU_HZ
+            for soj in queues[core].complete(
+                arrivals, pickup_ns, service_ns
+            ):
+                latencies.append(soj + wire_ns)
+                epoch_lat.append(soj + wire_ns)
+
+        def feed_measured(
+            core: int,
+            batch: List[Packet],
+            arrivals: List[int],
+            pickup_ns: int,
+        ) -> None:
+            point = crash_at.get(core)
+            if point is not None and fed[core] + len(batch) > point:
+                split = point - fed[core]
+                head, h_arr = batch[:split], arrivals[:split]
+                rest = batch[split:]
+                if head:
+                    do_service(core, head, h_arr, pickup_ns)
+                del crash_at[core]
+                fail(core, "crash")
+                detect_ns = max(now, pickup_ns)
+                for pkt in rest:
+                    steer(pkt, detect_ns)
+                return
+            point = wedge_at.get(core)
+            if point is not None and fed[core] + len(batch) > point:
+                split = point - fed[core]
+                head, h_arr = batch[:split], arrivals[:split]
+                tail = batch[split:]
+                if head:
+                    do_service(core, head, h_arr, pickup_ns)
+                del wedge_at[core]
+                wedged[core] = True
+                leftover, _ = queues[core].drain()
+                lost[core] += len(tail) + len(leftover)
+                if lost[core] >= self._deadline_for(core):
+                    fail(core, "wedge")
+                return
+            do_service(core, batch, arrivals, pickup_ns)
+
+        def flush_due(horizon_ns: Optional[int]) -> None:
+            while True:
+                best = None
+                for c in range(n):
+                    if not is_active[c] or wedged[c]:
+                        continue
+                    q = queues[c]
+                    if not q.pending:
+                        continue
+                    if len(q.pending) >= batch_size:
+                        ready = q.arrivals[batch_size - 1]
+                    else:
+                        ready = q.arrivals[0] + timeout_ns
+                    pickup = max(ready, q.server_free_ns)
+                    if horizon_ns is not None and pickup > horizon_ns:
+                        continue
+                    if best is None or (pickup, c) < best:
+                        best = (pickup, c)
+                if best is None:
+                    return
+                pickup, core = best
+                batch, arrivals = queues[core].take()
+                feed_measured(core, batch, arrivals, pickup)
+
+        def total_overflow() -> int:
+            return overflow_retired[0] + sum(q.overflowed for q in queues)
+
+        def retire(core: int) -> None:
+            """Tear a dead core's session down: per-CPU state is lost."""
+            injector = sessions[core].pipeline.faults
+            if injector is not None:
+                retired_dup[0] += dict(injector.injected).get(PKT_DUP, 0)
+            retired_actions.append(dict(sessions[core].finish().actions))
+            sessions[core] = self._build_session(core)
+            overflow_retired[0] += queues[core].overflowed
+            queues[core] = CoreQueue(cfg, batch_size)
+            cold[core] = True
+
+        def close_epoch() -> None:
+            nonlocal epoch, epoch_start_ns, epoch_lat
+            nonlocal lost_at_epoch, over_at_epoch
+            total_lost = sum(lost)
+            total_over = total_overflow()
+            stats = EpochStats(
+                epoch=epoch,
+                start_ns=epoch_start_ns,
+                end_ns=now,
+                packets=len(epoch_lat),
+                active_cores=active_list(),
+                overflow=total_over - over_at_epoch,
+                lost=total_lost - lost_at_epoch,
+                events=list(events),
+            )
+            if epoch_lat:
+                stats.p50_us = round(
+                    percentile(epoch_lat, 50.0) / 1000.0, 3
+                )
+                stats.p95_us = round(
+                    percentile(epoch_lat, 95.0) / 1000.0, 3
+                )
+                stats.p99_us = round(
+                    percentile(epoch_lat, 99.0) / 1000.0, 3
+                )
+            timeline.append(stats)
+            events.clear()
+            epoch_lat = []
+            lost_at_epoch = total_lost
+            over_at_epoch = total_over
+            epoch += 1
+            epoch_start_ns = now
+            # Repairs land first: a reborn core (fresh NF + runtime,
+            # cold sketches — the state loss) enters the parked pool.
+            for core in sorted(rejoin_at):
+                if rejoin_at[core] <= epoch:
+                    del rejoin_at[core]
+                    retire(core)
+                    parked.add(core)
+            if conf.autoscale:
+                action = self.autoscaler.decide(
+                    stats.p99_us, len(stats.active_cores)
+                )
+                if action == "up":
+                    candidates = sorted(parked)
+                    if candidates:
+                        core = candidates[0]
+                        parked.discard(core)
+                        join(core, "scale-up")
+                    else:
+                        self.autoscaler.scale_ups -= 1
+                        events.append("scale-up blocked: no spare core")
+                elif action == "down":
+                    victims = active_list()
+                    if len(victims) > conf.min_cores:
+                        core = victims[-1]
+                        events.append(f"scale-down core={core}")
+                        deactivate(core)
+                        parked.add(core)
+            else:
+                # No autoscaler: a repaired core rejoins the moment it
+                # is back (restore-to-provisioned) — partial recovery
+                # is a property of the fleet, not of the scaler.
+                for core in sorted(parked):
+                    if core < self.initial_cores:
+                        parked.discard(core)
+                        join(core, "rejoin")
+
+        retired_actions: List[Dict[str, int]] = []
+        retired_dup = [0]
+        overflow_retired = [0]
+        in_epoch = 0
+        for pkt in trace:
+            packets_in += 1
+            ts = pkt.timestamp_ns
+            if ts > now:
+                now = ts
+            flush_due(now)
+            steer(pkt, now)
+            in_epoch += 1
+            if in_epoch >= conf.epoch_packets:
+                in_epoch = 0
+                flush_due(now)
+                close_epoch()
+        flush_due(None)
+        for core in range(n):
+            if wedged[core] and is_active[core]:
+                fail(core, "wedge")
+        if epoch_lat or events:
+            close_epoch()
+
+        results = [s.finish() for s in sessions]
+        actions: Dict[str, int] = {}
+        for counts in [r.actions for r in results] + retired_actions:
+            for act, count in counts.items():
+                actions[act] = actions.get(act, 0) + count
+        forwarded = sum(actions.get(a, 0) for a in FORWARD_ACTIONS)
+        nf_dropped = actions.get(XdpAction.DROP, 0)
+        aborted = actions.get(XdpAction.ABORTED, 0)
+        duplicated = retired_dup[0]
+        if plan is not None:
+            duplicated += sum(
+                dict(s.pipeline.faults.injected).get(PKT_DUP, 0)
+                for s in sessions
+                if s.pipeline.faults is not None
+            )
+        return SloRun(
+            timeline=timeline,
+            config=conf,
+            packets_in=packets_in,
+            forwarded=forwarded,
+            nf_dropped=nf_dropped,
+            aborted=aborted,
+            duplicated=duplicated,
+            lost=sum(lost),
+            overflow=total_overflow(),
+            latencies_ns=latencies,
+            failures=failures,
+        )

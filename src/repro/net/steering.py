@@ -83,6 +83,19 @@ class SteeringPolicy:
     def queue_of(self, packet: Packet) -> int:
         raise NotImplementedError
 
+    def repack(self, alive: Sequence[int]) -> bool:
+        """Re-pack placement onto the surviving cores after a failure.
+
+        Policies that own an explicit placement table (ntuple) rebuild
+        it over ``alive`` and return True — from then on
+        :meth:`queue_of` only names live cores, so the dispatcher's
+        hash-failover fallback never engages.  Hash-only policies
+        (plain RSS, rekey) have no table to rewrite and return False;
+        the dispatcher keeps re-steering their dead-core traffic with
+        the flow-affine failover hash.
+        """
+        return False
+
     def describe(self) -> Dict[str, object]:
         """Policy configuration + fitted state, for reports/benchmarks."""
         return {"policy": self.name, "n_cores": self.n_cores}
@@ -219,6 +232,39 @@ class NtupleSteering(RssSteering):
         # Untrained default: round-robin table (equals plain RSS placement
         # whenever n_cores divides table_size, e.g. 8 cores / 128 slots).
         self.table: List[int] = [i % n_cores for i in range(table_size)]
+        # Sampled weights, retained so the placement can be re-packed
+        # over the surviving cores after a watchdog event.
+        self._flow_weight: Dict[int, int] = {}
+        self._bucket_weight: List[int] = [0] * table_size
+        #: Rules + table entries moved by the last :meth:`repack`.
+        self.last_repack_moved = 0
+
+    def _pack(self, cores: Sequence[int]) -> None:
+        """Joint LPT of pinned flows + table buckets onto ``cores``.
+
+        Ties (weight-0 buckets) keep a stable order for determinism.
+        """
+        items = [
+            ("flow", key, weight)
+            for key, weight in self._flow_weight.items()
+        ]
+        items += [
+            ("bucket", slot, weight)
+            for slot, weight in enumerate(self._bucket_weight)
+        ]
+        items.sort(key=lambda item: (-item[2], item[0], item[1]))
+        loads = {core: 0 for core in cores}
+        pinned: Dict[int, int] = {}
+        table = [cores[0]] * self.table_size
+        for kind, ident, weight in items:
+            queue = min(loads, key=lambda c: (loads[c], c))
+            loads[queue] += weight
+            if kind == "flow":
+                pinned[ident] = queue
+            else:
+                table[ident] = queue
+        self.pinned = pinned
+        self.table = table
 
     def prepare(self, sample: Sequence[Packet]) -> None:
         flow_weight = Counter(pkt.key_int for pkt in sample)
@@ -230,26 +276,41 @@ class NtupleSteering(RssSteering):
                 bucket_weight[
                     fast_hash32(key, self.hash_seed) % self.table_size
                 ] += weight
-        # Joint LPT over pinned flows and indirection buckets.  Ties
-        # (weight-0 buckets) keep a stable order for determinism.
-        items = [("flow", key, flow_weight[key]) for key in heavy]
-        items += [
-            ("bucket", slot, weight)
-            for slot, weight in enumerate(bucket_weight)
-        ]
-        items.sort(key=lambda item: (-item[2], item[0], item[1]))
-        loads = [0] * self.n_cores
-        pinned: Dict[int, int] = {}
-        table = [0] * self.table_size
-        for kind, ident, weight in items:
-            queue = loads.index(min(loads))
-            loads[queue] += weight
-            if kind == "flow":
-                pinned[ident] = queue
-            else:
-                table[ident] = queue
-        self.pinned = pinned
-        self.table = table
+        self._flow_weight = {key: flow_weight[key] for key in heavy}
+        self._bucket_weight = bucket_weight
+        self._pack(range(self.n_cores))
+
+    def repack(self, alive: Sequence[int]) -> bool:
+        """Fault-aware re-steer: rebuild rules + table over ``alive``.
+
+        Re-runs the joint LPT with the sampled weights, restricted to
+        the surviving cores — the ntuple answer to failover, replacing
+        the dispatcher's hash-based re-steer with a *balanced*
+        placement (the failover hash preserves affinity but re-loads
+        survivors unevenly under Zipf skew).  ``last_repack_moved``
+        records how many placements changed (the disruption ledger).
+        """
+        cores = sorted(set(alive))
+        if not cores:
+            raise ValueError("repack needs at least one surviving core")
+        for core in cores:
+            if not 0 <= core < self.n_cores:
+                raise ValueError(
+                    f"core {core} out of range for {self.n_cores} cores"
+                )
+        old_pinned = dict(self.pinned)
+        old_table = list(self.table)
+        self._pack(cores)
+        moved = sum(
+            1 for key, queue in self.pinned.items()
+            if old_pinned.get(key) != queue
+        )
+        moved += sum(
+            1 for slot in range(self.table_size)
+            if old_table[slot] != self.table[slot]
+        )
+        self.last_repack_moved = moved
+        return True
 
     def queue_of(self, packet: Packet) -> int:
         queue = self.pinned.get(packet.key_int)

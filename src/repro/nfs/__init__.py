@@ -8,7 +8,7 @@ from .bloom import BloomFilterNF
 from .countmin import CountMinNF
 from .counting_bloom import CountingBloomNF
 from .dary_cuckoo import DaryCuckooNF
-from .degrade import SketchDegradation
+from .degrade import ColdStartWarmup, SketchDegradation
 from .elastic import ElasticSketchNF
 from .flow_table import FlowMonitorNF
 from .lru_cache import LruCacheNF
@@ -83,6 +83,7 @@ __all__ = [
     "CountingBloomNF",
     "FlowMonitorNF",
     "HyperCutsNF",
+    "ColdStartWarmup",
     "SketchDegradation",
     "EXTENSION_NFS",
 ]

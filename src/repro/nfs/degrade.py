@@ -19,6 +19,7 @@ accounting stays bit-identical whether or not a policy is attached.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional
 
 POLICIES = ("halve", "reset", "clamp")
@@ -84,4 +85,67 @@ class SketchDegradation:
         }
 
 
-__all__ = ["POLICIES", "SketchDegradation"]
+class ColdStartWarmup:
+    """Cold-sketch warm-up penalty after a core rejoins with state loss.
+
+    A core that crashed and rejoined lost its per-CPU state: sketches
+    are zeroed, flow tables empty, Bloom filters all-clear.  Until the
+    structures refill, the data path runs *slower* — every first-seen
+    flow takes the insert/miss path (map insert instead of counter
+    bump, cuckoo kick chains, LRU allocation), and control logic built
+    on sketch estimates misfires.  The refill follows the same
+    coupon-collector curve that governs count-min/Bloom accuracy: after
+    ``m`` packets over a flow population of ``~tau`` active flows, the
+    probability the next packet's flow is still unseen — i.e. still
+    pays the cold path — is ``exp(-m / tau)``.
+
+    The model charges ``penalty_cycles * exp(-m / tau_packets)`` extra
+    cycles for the ``m``-th packet since rejoin, folded into the
+    *service time* of the queueing model (like the NUMA penalty, it is
+    kept out of the NF's own cycle ledger so healthy-path accounting
+    stays bit-identical).  ``fill_fraction`` exposes the refill curve
+    directly for accuracy-style reporting.
+    """
+
+    def __init__(
+        self, penalty_cycles: int = 120, tau_packets: int = 4096
+    ) -> None:
+        if penalty_cycles < 0:
+            raise ValueError(
+                f"penalty_cycles must be non-negative, got {penalty_cycles}"
+            )
+        if tau_packets <= 0:
+            raise ValueError(
+                f"tau_packets must be positive, got {tau_packets}"
+            )
+        self.penalty_cycles = penalty_cycles
+        self.tau_packets = tau_packets
+
+    def fill_fraction(self, packets_since_rejoin: int) -> float:
+        """Share of the active flow population re-learned after ``m``."""
+        if packets_since_rejoin < 0:
+            raise ValueError("packets_since_rejoin must be non-negative")
+        return 1.0 - math.exp(-packets_since_rejoin / self.tau_packets)
+
+    def penalty_at(self, packets_since_rejoin: int) -> int:
+        """Extra service cycles the ``m``-th post-rejoin packet pays."""
+        cold = 1.0 - self.fill_fraction(packets_since_rejoin)
+        return int(round(self.penalty_cycles * cold))
+
+    @property
+    def horizon_packets(self) -> int:
+        """Packets until the penalty rounds to zero (~warm again)."""
+        if self.penalty_cycles == 0:
+            return 0
+        # exp(-m/tau) * penalty < 0.5  =>  m > tau * ln(2 * penalty)
+        return int(self.tau_packets * math.log(2.0 * self.penalty_cycles)) + 1
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "penalty_cycles": self.penalty_cycles,
+            "tau_packets": self.tau_packets,
+            "horizon_packets": self.horizon_packets,
+        }
+
+
+__all__ = ["ColdStartWarmup", "POLICIES", "SketchDegradation"]

@@ -111,3 +111,92 @@ class TestChaosCliErrors:
         with pytest.raises(SystemExit) as exc:
             main(argv)
         assert exc.value.code == 2
+
+
+class TestLatencyAndSloFlags:
+    def test_burst_adds_latency_to_json(self, capsys):
+        argv = QUICK + ["--rate", "0", "--burst", "4e6", "--json"]
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["accounted"] is True
+        latency = report["latency"]
+        assert latency["n"] == 2000
+        assert latency["p50_us"] <= latency["p99_us"]
+        assert report["overflow"] == 0
+
+    def test_burst_with_crash_stays_accounted(self, capsys):
+        argv = QUICK + [
+            "--rate", "0", "--burst", "8e6", "--crash-core", "1",
+            "--crash-at", "100", "--json",
+        ]
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["accounted"] is True
+        assert report["failures"][0]["kind"] == "crash"
+
+    def test_detection_mean_changes_wedge_loss(self, capsys):
+        def lost(extra):
+            argv = QUICK + [
+                "--rate", "0", "--wedge-core", "0", "--wedge-at", "50",
+                "--json",
+            ] + extra
+            assert main(argv) == 0
+            report = json.loads(capsys.readouterr().out)
+            return report["failures"][0]["lost"]
+
+        fixed = lost(["--watchdog-deadline", "1024"])
+        probabilistic = lost(["--detection-mean", "100"])
+        assert probabilistic != fixed
+
+    def test_repack_flag_marks_failure(self, capsys):
+        argv = QUICK + [
+            "--rate", "0", "--policy", "ntuple", "--repack",
+            "--crash-core", "1", "--crash-at", "100", "--json",
+        ]
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["failures"][0]["repacked"] is True
+
+    def test_autoscale_recovery_scenario_exits_zero(self, capsys):
+        argv = [
+            "--packets", "12000", "--flows", "256",
+            "--cores", "4", "--initial-cores", "2",
+            "--rate", "0",
+            "--crash-core", "1", "--crash-at", "1500",
+            "--burst", "9e6", "--slo-p99", "60",
+            "--autoscale", "--expect-recovery", "--json",
+        ]
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["accounted"] is True
+        assert report["slo"]["violating_epochs"]
+        assert report["slo"]["recovery_s"] is not None
+        assert any(
+            e.startswith("scale-up")
+            for epoch in report["timeline"] for e in epoch["events"]
+        )
+
+    def test_autoscale_json_deterministic(self, capsys):
+        argv = QUICK + [
+            "--rate", "0", "--burst", "6e6", "--slo-p99", "80",
+            "--autoscale", "--json", "--seed", "7",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out) == first
+
+    @pytest.mark.parametrize("argv, hint", [
+        (["--slo-p99", "60"], "--slo-p99 needs --burst"),
+        (["--autoscale", "--burst", "1e6"], "--autoscale needs"),
+        (["--burst", "1e6", "--slo-p99", "60", "--initial-cores", "2"],
+         "--initial-cores"),
+        (["--expect-recovery"], "--expect-recovery needs --autoscale"),
+        (["--burst", "garbage"], "burst spec"),
+        (["--detection-mean", "0"], "positive"),
+    ])
+    def test_flag_validation_exits_two(self, argv, hint, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(QUICK + argv)
+        assert exc.value.code == 2
+        assert hint in capsys.readouterr().err

@@ -67,6 +67,38 @@ class TestPlanValidation:
         assert plan.wedge_point(5) == 7
         assert plan.wedge_point(2) is None
 
+    def test_negative_core_indices_rejected(self):
+        with pytest.raises(ValueError, match="crash_core"):
+            FaultPlan(crash_core=-1)
+        with pytest.raises(ValueError, match="wedge_core"):
+            FaultPlan(wedge_core=-2)
+
+    def test_same_core_crash_and_wedge_rejected(self):
+        with pytest.raises(ValueError, match="cannot both crash and wedge"):
+            FaultPlan(crash_core=3, wedge_core=3)
+
+    def test_different_cores_may_crash_and_wedge(self):
+        plan = FaultPlan(crash_core=0, wedge_core=1)
+        assert plan.crash_point(0) == 0
+        assert plan.wedge_point(1) == 0
+
+    def test_validate_for_cores_accepts_in_range(self):
+        FaultPlan(crash_core=3, wedge_core=1).validate_for_cores(4)
+        FaultPlan().validate_for_cores(1)
+
+    @pytest.mark.parametrize("field", ["crash_core", "wedge_core"])
+    def test_validate_for_cores_rejects_out_of_range(self, field):
+        plan = FaultPlan(**{field: 9})
+        with pytest.raises(ValueError, match="nonexistent core"):
+            plan.validate_for_cores(8)
+        # The message tells the operator what the fleet actually has.
+        with pytest.raises(ValueError, match="cores 0..7"):
+            plan.validate_for_cores(8)
+
+    def test_validate_for_cores_rejects_bad_fleet(self):
+        with pytest.raises(ValueError, match="n_cores"):
+            FaultPlan().validate_for_cores(0)
+
     def test_errno_table_matches_kernel(self):
         assert ERRNO[MAP_FULL] == ("E2BIG", -7)
         assert ERRNO[MAP_NOMEM] == ("ENOMEM", -12)

@@ -1,5 +1,7 @@
 """Tests for the trace-replay CLI (python -m repro.net.replay)."""
 
+import json
+
 import pytest
 
 from repro.net.flowgen import FlowGenerator
@@ -97,3 +99,70 @@ class TestCli:
         assert exc.value.code == 2
         err = capsys.readouterr().err
         assert "positive integer" in err or "is not an integer" in err
+
+
+class TestLatencyFlags:
+    def test_burst_adds_latency_lines(self, trace_csv, capsys):
+        assert main([trace_csv, "--cores", "4", "--burst", "4e6"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+        assert "p99" in out
+        assert "overflow" in out
+
+    def test_burst_json_report(self, trace_csv, capsys):
+        assert main(
+            [trace_csv, "--cores", "4", "--burst", "4e6", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["burst"] == "4e6"
+        latency = report["latency"]
+        assert latency["n"] == 2000
+        assert latency["p50_us"] <= latency["p99_us"]
+        assert report["overflow"] == 0
+
+    def test_slo_verdict_met(self, trace_csv, capsys):
+        assert main(
+            [trace_csv, "--cores", "4", "--burst", "2e6",
+             "--slo-p99", "500", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["slo"]["target_p99_us"] == 500.0
+        assert report["slo"]["met"] is True
+
+    def test_autoscale_loop_reports_timeline(self, trace_csv, capsys):
+        assert main(
+            [trace_csv, "--cores", "4", "--initial-cores", "2",
+             "--burst", "4e6", "--slo-p99", "100", "--autoscale",
+             "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["autoscale"] is True
+        assert report["initial_cores"] == 2
+        assert report["accounted"] is True
+        assert len(report["timeline"]) >= 1
+        assert "recovery_s" in report["slo"]
+
+    def test_same_seed_same_json(self, trace_csv, capsys):
+        argv = [trace_csv, "--cores", "4", "--burst", "8e6", "--json",
+                "--seed", "3"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+    @pytest.mark.parametrize("argv, hint", [
+        (["--slo-p99", "60"], "--slo-p99 needs --burst"),
+        (["--autoscale", "--burst", "1e6"], "--autoscale needs"),
+        (["--burst", "1e6", "--slo-p99", "60", "--initial-cores", "2"],
+         "--initial-cores"),
+        (["--burst", "1e6", "--slo-p99", "60", "--autoscale",
+          "--initial-cores", "9"], "exceeds --cores"),
+        (["--burst", "nope"], "burst spec"),
+        (["--burst", "1e6:2e6"], "burst spec"),
+        (["--burst", "1e6", "--slo-p99", "-5"], "positive"),
+    ])
+    def test_flag_validation_exits_two(self, trace_csv, argv, hint, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([trace_csv] + argv)
+        assert exc.value.code == 2
+        assert hint in capsys.readouterr().err

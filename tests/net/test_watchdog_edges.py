@@ -1,0 +1,282 @@
+"""Watchdog edge cases: wedge-at-zero, combined faults, detection, repack."""
+
+import pytest
+
+from repro.ebpf.cost_model import ExecMode
+from repro.ebpf.runtime import BpfRuntime
+from repro.faults import FaultPlan, WedgeDetection
+from repro.net.flowgen import FlowGenerator
+from repro.net.multicore import AllCoresDeadError, RssDispatcher
+from repro.net.queueing import ArrivalProcess, QueueingConfig
+from repro.nfs import CountMinNF
+
+
+def countmin_factory(core):
+    return CountMinNF(BpfRuntime(mode=ExecMode.ENETSTL, seed=core), depth=4)
+
+
+def trace(n, seed=5, n_flows=512):
+    fg = FlowGenerator(n_flows=n_flows, seed=seed, distribution="zipf")
+    return fg.trace(n)
+
+
+def bursty_trace(n, pps=4e6, seed=5, n_flows=512):
+    fg = FlowGenerator(n_flows=n_flows, seed=seed, distribution="zipf")
+    return list(fg.iter_trace_bursty(n, ArrivalProcess(pps, seed=seed)))
+
+
+def assert_accounted(result):
+    __tracebackhint__ = True
+    assert (
+        result.packets_in + result.duplicated
+        == result.forwarded + result.dropped + result.aborted
+    ), result.accounting()
+    assert result.is_fully_accounted
+
+
+class TestWedgeAtZero:
+    """A core that never consumes a single packet."""
+
+    def test_plain_path(self):
+        result = RssDispatcher(
+            countmin_factory,
+            n_cores=4,
+            faults=FaultPlan(wedge_core=1, wedge_at=0),
+            watchdog_deadline=64,
+        ).run(trace(3000))
+        wedges = [f for f in result.failures if f.kind == "wedge"]
+        assert len(wedges) == 1
+        assert wedges[0].processed == 0  # it never served anything
+        assert wedges[0].lost > 0
+        assert_accounted(result)
+
+    def test_queued_path(self):
+        result = RssDispatcher(
+            countmin_factory,
+            n_cores=4,
+            faults=FaultPlan(wedge_core=1, wedge_at=0),
+            watchdog_deadline=64,
+            queueing=QueueingConfig(),
+        ).run(bursty_trace(3000))
+        wedges = [f for f in result.failures if f.kind == "wedge"]
+        assert len(wedges) == 1
+        assert wedges[0].processed == 0
+        assert_accounted(result)
+
+
+class TestSimultaneousFaults:
+    """Crash and wedge on *different* cores in one run."""
+
+    def plan(self):
+        return FaultPlan(crash_core=0, crash_at=200, wedge_core=2, wedge_at=300)
+
+    def test_plain_path_both_detected(self):
+        result = RssDispatcher(
+            countmin_factory,
+            n_cores=4,
+            faults=self.plan(),
+            watchdog_deadline=128,
+        ).run(trace(5000))
+        kinds = sorted(f.kind for f in result.failures)
+        assert kinds == ["crash", "wedge"]
+        by_kind = {f.kind: f for f in result.failures}
+        assert by_kind["crash"].core == 0
+        assert by_kind["wedge"].core == 2
+        # Only the wedge loses packets; the crash is detected instantly.
+        assert by_kind["crash"].lost == 0
+        assert by_kind["wedge"].lost > 0
+        assert_accounted(result)
+
+    def test_queued_path_both_detected(self):
+        result = RssDispatcher(
+            countmin_factory,
+            n_cores=4,
+            faults=self.plan(),
+            watchdog_deadline=128,
+            queueing=QueueingConfig(),
+        ).run(bursty_trace(5000))
+        assert sorted(f.kind for f in result.failures) == ["crash", "wedge"]
+        assert_accounted(result)
+
+    def test_same_core_crash_and_wedge_rejected(self):
+        with pytest.raises(ValueError, match="cannot both crash and wedge"):
+            FaultPlan(crash_core=1, wedge_core=1)
+
+
+class TestLastCoreDeath:
+    def test_single_core_crash_raises(self):
+        with pytest.raises(AllCoresDeadError):
+            RssDispatcher(
+                countmin_factory,
+                n_cores=1,
+                faults=FaultPlan(crash_core=0, crash_at=10),
+            ).run(trace(100))
+
+    def test_single_core_crash_raises_queued(self):
+        with pytest.raises(AllCoresDeadError):
+            RssDispatcher(
+                countmin_factory,
+                n_cores=1,
+                faults=FaultPlan(crash_core=0, crash_at=10),
+                queueing=QueueingConfig(),
+            ).run(bursty_trace(100))
+
+
+class TestAccountingWithOverflow:
+    """packets_in + duplicated == forwarded + dropped + aborted, where
+    dropped now includes RX-ring overflow."""
+
+    def test_overflow_enters_the_invariant(self):
+        result = RssDispatcher(
+            countmin_factory,
+            n_cores=2,
+            queueing=QueueingConfig(rx_ring_size=128),
+        ).run(bursty_trace(8000, pps=5e7))
+        assert result.overflow_drops > 0
+        assert result.dropped >= result.overflow_drops
+        assert_accounted(result)
+
+    def test_overflow_plus_faults_plus_crash(self):
+        result = RssDispatcher(
+            countmin_factory,
+            n_cores=2,
+            faults=FaultPlan.uniform(
+                0.02, seed=9, crash_core=1, crash_at=1000
+            ),
+            queueing=QueueingConfig(rx_ring_size=128),
+        ).run(bursty_trace(8000, pps=5e7))
+        assert result.overflow_drops > 0
+        assert len(result.failures) == 1
+        assert_accounted(result)
+
+    def test_overflow_plus_wedge(self):
+        result = RssDispatcher(
+            countmin_factory,
+            n_cores=2,
+            faults=FaultPlan(wedge_core=0, wedge_at=500),
+            watchdog_deadline=256,
+            queueing=QueueingConfig(rx_ring_size=128),
+        ).run(bursty_trace(8000, pps=5e7))
+        assert result.overflow_drops > 0
+        assert any(f.kind == "wedge" for f in result.failures)
+        assert_accounted(result)
+
+
+class TestPerCoreDetection:
+    def test_detection_model_sets_per_core_deadlines(self):
+        det = WedgeDetection(mean_packets=512, min_packets=64, seed=3)
+        result = RssDispatcher(
+            countmin_factory,
+            n_cores=4,
+            faults=FaultPlan(wedge_core=1, wedge_at=100),
+            detection=det,
+            watchdog_deadline=10_000,  # would never fire on its own
+        ).run(trace(6000))
+        wedges = [f for f in result.failures if f.kind == "wedge"]
+        assert len(wedges) == 1
+        # The drawn deadline, not the fixed watchdog constant, fired —
+        # the plain path checks at batch boundaries, so the pile can
+        # overshoot the deadline by at most one batch.
+        deadline = det.deadline_for(1)
+        assert deadline <= wedges[0].lost < deadline + 256
+        assert wedges[0].lost < 10_000
+        assert_accounted(result)
+
+    def test_detection_seed_changes_when_the_watchdog_fires(self):
+        def lost_with(seed):
+            result = RssDispatcher(
+                countmin_factory,
+                n_cores=4,
+                faults=FaultPlan(wedge_core=1, wedge_at=100),
+                detection=WedgeDetection(
+                    mean_packets=700, min_packets=64, seed=seed
+                ),
+            ).run(trace(6000))
+            return result.failures[0].lost
+
+        assert lost_with(3) != lost_with(40)
+
+    def test_detection_deterministic_across_runs(self):
+        def once():
+            return RssDispatcher(
+                countmin_factory,
+                n_cores=4,
+                faults=FaultPlan(wedge_core=2, wedge_at=50),
+                detection=WedgeDetection(
+                    mean_packets=256, min_packets=64, seed=11
+                ),
+            ).run(trace(5000))
+
+        a, b = once(), once()
+        assert [f.describe() for f in a.failures] == [
+            f.describe() for f in b.failures
+        ]
+        assert a.per_core == b.per_core
+
+
+class TestRepackOnFailure:
+    def test_crash_triggers_repack_for_ntuple(self):
+        result = RssDispatcher(
+            countmin_factory,
+            n_cores=4,
+            steering="ntuple",
+            faults=FaultPlan(crash_core=1, crash_at=200),
+            repack_on_failure=True,
+        ).run(trace(5000))
+        failure = result.failures[0]
+        assert failure.repacked
+        # Re-packing replaces per-packet resteering: survivors own the
+        # dead core's flows in the table itself.
+        assert failure.resteered == 0
+        assert_accounted(result)
+
+    def test_without_repack_flag_resteers_instead(self):
+        result = RssDispatcher(
+            countmin_factory,
+            n_cores=4,
+            steering="ntuple",
+            faults=FaultPlan(crash_core=1, crash_at=200),
+            repack_on_failure=False,
+        ).run(trace(5000))
+        failure = result.failures[0]
+        assert not failure.repacked
+        assert failure.resteered > 0
+        assert_accounted(result)
+
+    def test_repacked_run_is_deterministic(self):
+        t = trace(5000)
+        plan = FaultPlan.uniform(0.01, seed=4, crash_core=1, crash_at=500)
+
+        def once():
+            return RssDispatcher(
+                countmin_factory,
+                n_cores=4,
+                faults=plan,
+                steering="ntuple",
+                repack_on_failure=True,
+            ).run(t)
+
+        a, b = once(), once()
+        assert a.accounting() == b.accounting()
+        assert a.injected == b.injected
+        assert [f.describe() for f in a.failures] == [
+            f.describe() for f in b.failures
+        ]
+
+    def test_flag_changes_routing_never_the_schedule(self):
+        # Same steering either way: the crash fires at the same point
+        # and the pre-crash world is untouched by the recovery knob.
+        t = trace(5000)
+        plan = FaultPlan(crash_core=1, crash_at=500, seed=4)
+        a = RssDispatcher(
+            countmin_factory, n_cores=4, faults=plan, steering="ntuple"
+        ).run(t)
+        b = RssDispatcher(
+            countmin_factory,
+            n_cores=4,
+            faults=plan,
+            steering="ntuple",
+            repack_on_failure=True,
+        ).run(t)
+        assert a.failures[0].processed == b.failures[0].processed == 500
+        assert a.failures[0].kind == b.failures[0].kind == "crash"

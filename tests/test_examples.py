@@ -20,6 +20,10 @@ CASES = {
         "division by zero",
     ],
     "service_chain.py": ["infeasible", "saturated", "cache hit rate"],
+    "slo_recovery.py": [
+        "crash core=1", "scale-up", "sustained compliance",
+        "never returned under target",
+    ],
 }
 
 
