@@ -1,0 +1,296 @@
+"""Widening precision-ablation benchmark (PR 9's acceptance numbers).
+
+Not a pytest module — run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_widening.py [--quick] [--out PATH]
+
+Measures, and self-asserts, the widening-based loop verification of
+PR 9:
+
+1. **Unlock** — the two bundled data-dependent-loop programs
+   (``loop_pkt_search``, ``loop_lpm_walk``).  The seed verifier
+   (``widen="off"``) must reject both by state explosion; the widening
+   verifier must accept both in O(1) abstract states, with the in-loop
+   ``safe_mem``/``safe_div`` proofs intact.
+2. **Verify-time scaling** — a mask ladder over the same bounded-
+   linear-search shape, sized so the seed verifier still accepts by
+   per-trip enumeration.  Seed states/time grow linearly with the
+   data-dependent trip bound; widened states stay flat, and at the
+   largest rung widening must also win wall-clock.  Proof survival
+   (the fraction of the seed's elided checks the widened invariant
+   still proves) is recorded per rung and must be 1.0 on this family.
+3. **Precision ablation** — ``widen="always"`` (every back-edge target
+   widened) over the whole bundled corpus: how many accepts survive
+   maximal widening, the aggregate proof-survival fraction, and the
+   soundness direction — every reject-expected program must stay
+   rejected.
+
+Results land in ``BENCH_PR9.json`` next to the repo root; the CI
+``verify-smoke`` job runs the ``--quick`` variant and re-checks the
+self-assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.analysis.hostmeta import host_metadata
+from repro.ebpf.insn import (
+    Alu, Exit, Imm, Jmp, JmpIf, Load, Mov, Program,
+    R0, R1, R2, R3, R4, R5, R6, R7, R8, R9,
+)
+from repro.ebpf.progs import bundled_cases, get_case
+from repro.ebpf.kfunc_meta import default_registry
+from repro.ebpf.verifier import Verifier, VerifierError
+
+#: The previously unverifiable programs this PR unlocks.
+UNLOCKED = ("loop_pkt_search", "loop_lpm_walk")
+
+
+def _search_prog(mask: int) -> Program:
+    """The ``loop_pkt_search`` shape with a parametric bound mask —
+    small masks keep the seed verifier's per-trip enumeration inside
+    the state budget, giving an accept-vs-accept comparison."""
+    return Program([
+        Load(R2, R1, 0),
+        Load(R3, R1, 8),
+        Mov(R4, R2),
+        Alu("add", R4, Imm(8)),
+        JmpIf("gt", R4, R3, 23),
+        Load(R7, R2, 0),
+        Mov(R8, R7),
+        Alu("and", R8, Imm(mask)),
+        Mov(R6, Imm(0)),
+        JmpIf("ge", R6, R8, 21),
+        Mov(R5, R6),
+        Alu("lsh", R5, Imm(3)),
+        Mov(R4, R2),
+        Alu("add", R4, R5),
+        Mov(R9, R4),
+        Alu("add", R9, Imm(16)),
+        JmpIf("gt", R9, R3, 21),
+        Load(R0, R4, 8),
+        JmpIf("eq", R0, R7, 23),
+        Alu("add", R6, Imm(1)),
+        Jmp(9),
+        Mov(R0, Imm(2)),
+        Exit(),
+        Mov(R0, Imm(1)),
+        Exit(),
+    ], name=f"search_{mask:#x}")
+
+
+def _proofs(vp) -> set:
+    return ({("mem", pc) for pc in vp.annotations.safe_mem}
+            | {("div", pc) for pc in vp.annotations.safe_div})
+
+
+def _timed_verify(verifier: Verifier, prog: Program):
+    t0 = time.perf_counter()
+    try:
+        vp = verifier.verify(prog)
+    except VerifierError as exc:
+        return None, str(exc), (time.perf_counter() - t0) * 1000
+    return vp, None, (time.perf_counter() - t0) * 1000
+
+
+def unlock_suite() -> dict:
+    reg = default_registry()
+    out = {"programs": {}}
+    for name in UNLOCKED:
+        prog = get_case(name).prog
+        _, err, off_ms = _timed_verify(Verifier(reg, widen="off"), prog)
+        assert err is not None and "state limit" in err, (
+            f"{name}: seed verifier must reject by state explosion"
+        )
+        vp, werr, auto_ms = _timed_verify(Verifier(reg), prog)
+        assert vp is not None, f"{name}: widening must accept ({werr})"
+        st = vp.stats
+        assert st.loops_widened == 1 and st.states_explored <= 64, (
+            f"{name}: not O(1) states ({st.states_explored})"
+        )
+        out["programs"][name] = {
+            "seed_verdict": "reject (state limit)",
+            "seed_ms": round(off_ms, 3),
+            "widened_verdict": "accept",
+            "widened_ms": round(auto_ms, 3),
+            "states": st.states_explored,
+            "fixpoint_iters": st.fixpoint_iters,
+            "trip_bounds": {
+                str(h): inv.trip_bound
+                for h, inv in vp.loop_invariants.items()
+            },
+            "safe_mem": sorted(vp.annotations.safe_mem),
+            "safe_div": sorted(vp.annotations.safe_div),
+        }
+    # The in-loop proofs the issue names: guarded packet load, nonzero
+    # divisor — both must survive widening.
+    assert 17 in Verifier(reg).verify(
+        get_case("loop_pkt_search").prog).annotations.safe_mem
+    assert 13 in Verifier(reg).verify(
+        get_case("loop_lpm_walk").prog).annotations.safe_div
+    return out
+
+
+def scaling_suite(masks) -> dict:
+    reg = default_registry()
+    out = {"family": "bounded linear search (bound = pkt word & mask)",
+           "rungs": {}}
+    prev_seed_states = 0
+    for mask in masks:
+        prog = _search_prog(mask)
+        vp_off, err, off_ms = _timed_verify(Verifier(reg, widen="off"), prog)
+        assert vp_off is not None, (
+            f"mask {mask:#x}: ladder rung must stay seed-acceptable ({err})"
+        )
+        vp, _, auto_ms = _timed_verify(Verifier(reg), prog)
+        assert vp is not None and vp.stats.loops_widened == 1
+        seed_proofs, widened_proofs = _proofs(vp_off), _proofs(vp)
+        survival = (len(seed_proofs & widened_proofs) / len(seed_proofs)
+                    if seed_proofs else 1.0)
+        out["rungs"][f"{mask:#x}"] = {
+            "trip_bound": mask,
+            "seed_states": vp_off.stats.states_explored,
+            "seed_ms": round(off_ms, 3),
+            "widened_states": vp.stats.states_explored,
+            "widened_ms": round(auto_ms, 3),
+            "states_ratio": round(
+                vp_off.stats.states_explored / vp.stats.states_explored, 2),
+            "time_speedup": round(off_ms / auto_ms, 3),
+            "fixpoint_iters": vp.stats.fixpoint_iters,
+            "proof_survival": survival,
+        }
+        assert survival == 1.0, f"mask {mask:#x}: proofs lost to widening"
+        assert vp_off.stats.states_explored > prev_seed_states, (
+            "seed states must grow with the trip bound"
+        )
+        prev_seed_states = vp_off.stats.states_explored
+    rungs = list(out["rungs"].values())
+    assert rungs[-1]["states_ratio"] >= 10, (
+        "widening must beat per-trip enumeration by >= 10x states "
+        "at the largest rung"
+    )
+    assert rungs[-1]["time_speedup"] > 1.0, (
+        "widening must win wall-clock at the largest rung"
+    )
+    # O(1) claim: widened states stay flat while the bound grows.
+    assert max(r["widened_states"] for r in rungs) <= 2 * min(
+        r["widened_states"] for r in rungs)
+    out["verify_time_speedup_at_largest"] = rungs[-1]["time_speedup"]
+    out["states_ratio_at_largest"] = rungs[-1]["states_ratio"]
+    return out
+
+
+def ablation_suite() -> dict:
+    """``widen="always"``: maximal widening over the bundled corpus."""
+    reg = default_registry()
+    kept = lost = 0
+    survived = total = 0
+    per_program = {}
+    for case in bundled_cases():
+        base, base_err, _ = _timed_verify(Verifier(reg), case.prog)
+        vp, err, _ = _timed_verify(Verifier(reg, widen="always"), case.prog)
+        if base is None:
+            # Soundness direction: a program the precise verifier
+            # rejects must never become acceptable by *losing*
+            # precision.
+            assert vp is None, (
+                f"{case.name}: widen=always accepted a rejected program"
+            )
+            per_program[case.name] = {"verdict": "reject (both)"}
+            continue
+        if vp is None:
+            lost += 1
+            per_program[case.name] = {
+                "verdict": "precision lost (reject under widen=always)",
+                "error": err,
+            }
+            continue
+        kept += 1
+        base_proofs, wide_proofs = _proofs(base), _proofs(vp)
+        survived += len(base_proofs & wide_proofs)
+        total += len(base_proofs)
+        per_program[case.name] = {
+            "verdict": "accept",
+            "proof_survival": (
+                round(len(base_proofs & wide_proofs) / len(base_proofs), 3)
+                if base_proofs else 1.0),
+            "states": vp.stats.states_explored,
+            "loops_widened": vp.stats.loops_widened,
+        }
+    out = {
+        "mode": "widen=always (every back-edge target widened)",
+        "accepts_kept": kept,
+        "accepts_lost": lost,
+        "proof_survival_overall": round(survived / total, 3) if total else 1.0,
+        "programs": per_program,
+    }
+    assert kept >= lost, "maximal widening lost most of the corpus"
+    assert out["proof_survival_overall"] >= 0.5
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized run (smaller mask ladder)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+    # Every rung must exceed WIDEN_AFTER_TRIPS (128 trips) or auto
+    # mode just enumerates the loop precisely and nothing is widened.
+    masks = (0xFF, 0x1FF, 0x3FF) if args.quick else (0xFF, 0x3FF, 0x7FF)
+
+    print("unlock suite (seed-rejected data-dependent loops) ...")
+    unlock = unlock_suite()
+    for name, d in unlock["programs"].items():
+        print(f"  {name:>16}: seed {d['seed_verdict']} in {d['seed_ms']:.1f}ms"
+              f" -> widened accept, {d['states']} states, "
+              f"{d['fixpoint_iters']} fixpoint iters, "
+              f"bounds {d['trip_bounds']}")
+
+    print(f"verify-time scaling suite (masks {[hex(m) for m in masks]}) ...")
+    scaling = scaling_suite(masks)
+    for rung, d in scaling["rungs"].items():
+        print(f"  mask {rung:>6}: seed {d['seed_states']:>6} states / "
+              f"{d['seed_ms']:.1f}ms -> widened {d['widened_states']} states"
+              f" / {d['widened_ms']:.1f}ms "
+              f"({d['states_ratio']}x states, {d['time_speedup']}x time, "
+              f"survival {d['proof_survival']:.2f})")
+
+    print("precision ablation (widen=always over bundled corpus) ...")
+    ablation = ablation_suite()
+    print(f"  {ablation['accepts_kept']} accepts kept, "
+          f"{ablation['accepts_lost']} lost, proof survival "
+          f"{ablation['proof_survival_overall']}")
+
+    payload = {
+        "benchmark": "PR9 widening-based loop verification",
+        "host": host_metadata(),
+        "quick": args.quick,
+        "unlocked": unlock,
+        "verify_time_scaling": scaling,
+        "precision_ablation": ablation,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -499,6 +499,7 @@ class _Compiler:
         self.max_steps = (
             ann.states_explored
             + getattr(ann, "states_pruned", 0)
+            + getattr(ann, "widened_steps", 0)
             + len(prog)
             + 64
         )

@@ -226,6 +226,71 @@ def _cases() -> List[ProgCase]:
         Exit(),
     )
 
+    # -- data-dependent loops (widening required) -----------------------
+    # The trip count comes from packet data, so there is no constant
+    # bound to unroll against: the seed verifier enumerates one abstract
+    # state per trip and blows the state budget.  Widening joins the
+    # header states into a single invariant and proves termination from
+    # the monotone counter instead.
+    case(
+        True,
+        "bounded linear search: scan up to n packet words for a needle",
+        "loop_pkt_search",
+        Load(R2, R1, 0),             # r2 = data
+        Load(R3, R1, 8),             # r3 = data_end
+        Mov(R4, R2),
+        Alu("add", R4, Imm(8)),
+        JmpIf("gt", R4, R3, 23),     # need one header word
+        Load(R7, R2, 0),             # needle = first word
+        Mov(R8, R7),
+        Alu("and", R8, Imm(0x3FFF)), # n = needle & 0x3fff (data-dep bound)
+        Mov(R6, Imm(0)),             # i = 0
+        JmpIf("ge", R6, R8, 21),     # loop: while i < n
+        Mov(R5, R6),
+        Alu("lsh", R5, Imm(3)),      # i * 8
+        Mov(R4, R2),
+        Alu("add", R4, R5),          # p = data + i*8 (variable offset)
+        Mov(R9, R4),
+        Alu("add", R9, Imm(16)),
+        JmpIf("gt", R9, R3, 21),     # cursor past end: not found
+        Load(R0, R4, 8),             # word i (guarded above: elided)
+        JmpIf("eq", R0, R7, 23),     # found the needle: drop
+        Alu("add", R6, Imm(1)),      # i += 1
+        Jmp(9),
+        Mov(R0, Imm(2)),             # XDP_PASS (not found / end of data)
+        Exit(),
+        Mov(R0, Imm(1)),             # XDP_DROP (match or short packet)
+        Exit(),
+    )
+    case(
+        True,
+        "LPM-style walk: divide a key by a packet-derived radix n times",
+        "loop_lpm_walk",
+        Load(R2, R1, 0),             # r2 = data
+        Load(R3, R1, 8),             # r3 = data_end
+        Mov(R4, R2),
+        Alu("add", R4, Imm(16)),
+        JmpIf("gt", R4, R3, 21),     # need two header words
+        Load(R7, R2, 8),             # key = second word
+        Mov(R8, R7),
+        Alu("and", R8, Imm(0x3FFF)), # depth = key & 0x3fff (data-dep bound)
+        Mov(R5, R7),
+        Alu("and", R5, Imm(3)),
+        Alu("add", R5, Imm(2)),      # radix in [2, 5]: nonzero invariant
+        Mov(R6, Imm(0)),             # d = 0
+        Mov(R9, R7),                 # acc = key
+        Alu("div", R9, R5),          # loop: acc /= radix (check elided)
+        Alu("add", R6, Imm(1)),      # d += 1
+        JmpIf("lt", R6, R8, 13),     # while d < depth
+        Mov(R0, R9),
+        Alu("xor", R0, R6),
+        Alu("and", R0, Imm(1)),
+        Alu("add", R0, Imm(1)),      # verdict 1/2 from final parity
+        Exit(),
+        Mov(R0, Imm(1)),             # XDP_DROP (short packet)
+        Exit(),
+    )
+
     # -- range-proven division ------------------------------------------
     case(
         True,

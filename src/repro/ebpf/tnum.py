@@ -140,6 +140,13 @@ class Tnum:
             b = b.lshift(1)
         return tnum_const(acc_v).add(acc_m)
 
+    def union(self, o: "Tnum") -> "Tnum":
+        """Least upper bound (kernel ``tnum_union``): a bit stays known
+        only when both operands know it *and* agree on its value."""
+        v = self.value & o.value
+        mu = self.mask | o.mask | (self.value ^ o.value)
+        return Tnum(v & ~mu & MASK64, _u64(mu))
+
     def intersect(self, o: "Tnum") -> Optional["Tnum"]:
         """Combine two views of the same value; ``None`` if contradictory
         (some bit known 0 in one view and known 1 in the other)."""
@@ -239,6 +246,23 @@ class ScalarRange:
         """Statically proven != 0 (range or known-bit evidence)."""
         return self.umin > 0 or bool(self.tnum.value)
 
+    def join(self, o: "ScalarRange") -> "ScalarRange":
+        """Least upper bound over tnum + both interval views: the
+        tightest range of this shape admitting every value either
+        operand admits.  Used at loop headers to merge the states of
+        successive trips (see :func:`range_join`/:func:`range_widen`)."""
+        r = ScalarRange(
+            self.tnum.union(o.tnum),
+            min(self.umin, o.umin),
+            max(self.umax, o.umax),
+            min(self.smin, o.smin),
+            max(self.smax, o.smax),
+        )
+        # A join of two reachable (non-empty) ranges is non-empty, so
+        # normalization cannot find a contradiction; keep the raw result
+        # as a safety net anyway.
+        return _canonical(r)
+
     def key(self) -> Tuple[int, int, int, int]:
         """Hashable identity for state pruning (s64 bounds are derived
         from the same bits, so the u64 view + tnum suffice)."""
@@ -276,6 +300,53 @@ def range_subsumes(general: ScalarRange, specific: ScalarRange) -> bool:
     if specific.tnum.mask & known:
         return False
     return (general.tnum.value ^ specific.tnum.value) & known == 0
+
+
+def range_join(a: ScalarRange, b: ScalarRange) -> ScalarRange:
+    """Module-level alias for :meth:`ScalarRange.join`."""
+    return a.join(b)
+
+
+def range_widen(old: ScalarRange, new: ScalarRange) -> ScalarRange:
+    """Widening operator for loop fixpoints: ``new`` is presumed to be
+    ``old`` joined with the latest back-edge state.  Any interval bound
+    that grew since ``old`` jumps straight to its type limit instead of
+    creeping one trip at a time — that is what makes data-dependent
+    loops converge in O(1) abstract states rather than one state per
+    trip.  A tnum that grew since ``old`` is widened to the coarsest
+    view that still proves its low-bit alignment (trailing known-zero
+    bits survive — that is what keeps variable-offset stack proofs
+    alive through widening); letting the union's mask creep instead
+    would cost up to one fixpoint restart per bit.
+    """
+    umin = new.umin if new.umin >= old.umin else 0
+    umax = new.umax if new.umax <= old.umax else U64_MAX
+    smin = new.smin if new.smin >= old.smin else S64_MIN
+    smax = new.smax if new.smax <= old.smax else S64_MAX
+    t = new.tnum
+    if t != old.tnum:
+        nonzero = t.value | t.mask
+        z = 64 if nonzero == 0 else (nonzero & -nonzero).bit_length() - 1
+        t = Tnum(0, (MASK64 >> z) << z if z < 64 else 0)
+    return _canonical(ScalarRange(t, umin, umax, smin, smax))
+
+
+def _canonical(r: ScalarRange) -> ScalarRange:
+    """Normalize to a fixpoint.  One ``normalized()`` pass propagates
+    facts pairwise between components but may enable further
+    tightening (a umax clamped by smax can in turn clamp the tnum, and
+    so on); the loop fixpoint compares states by ``key()``, so join and
+    widen results must be fully canonical or convergence detection
+    would see phantom growth.  Contradictions are impossible for joins
+    of non-empty ranges — fall back to the raw value defensively."""
+    while True:
+        n = r.normalized()
+        if n is None:
+            return r
+        if (n.tnum == r.tnum and n.umin == r.umin and n.umax == r.umax
+                and n.smin == r.smin and n.smax == r.smax):
+            return n
+        r = n
 
 
 def unknown_range() -> ScalarRange:

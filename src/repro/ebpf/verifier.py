@@ -78,6 +78,7 @@ from .tnum import (
     const_range,
     eval_cmp,
     range_subsumes,
+    range_widen,
     refine_cmp,
     unknown_range,
 )
@@ -98,6 +99,25 @@ VAR_OFF_LIMIT = 1 << 32
 
 #: Per-instruction entry states kept for the CLI's range-fact listing.
 MAX_FACTS_PER_INSN = 4
+
+#: Back-edge traversals before a loop header switches from per-trip
+#: unrolling to join/widen fixpoint iteration (``widen="auto"``).  Kept
+#: above the JIT's ``UNROLL_MAX_TRIPS`` so small constant-trip loops
+#: keep their exact per-trip states (and their unrolled codegen).
+WIDEN_AFTER_TRIPS = 128
+
+#: Precise joins applied to a loop-header invariant before widening
+#: jumps grown interval bounds to their type limits.
+WIDEN_JOINS = 3
+
+#: Hard cap on fixpoint restarts — preserves verifier termination even
+#: if join/widen fail to converge (they should within ~WIDEN_JOINS + a
+#: few tnum-mask growth steps per register).
+MAX_FIXPOINT_ITERS = 128
+
+#: Largest trip bound accepted for a widened loop; wider bounds must be
+#: masked/bounds-checked down first (mirrors the unbounded-var-off rule).
+MAX_WIDENED_TRIPS = 1 << 20
 
 #: Fully-explored states remembered per pruning point for subsumption
 #: checks (the kernel keeps a similar bounded ``explored_states`` list
@@ -136,6 +156,12 @@ class VerifierError(Exception):
         self.insn_text: Optional[str] = None
         self.state_text: Optional[str] = None
         self.path: Optional[List[int]] = None
+        #: Loop diagnostics for widening failures: the loop-header
+        #: instruction index, the rendered header invariant, and the
+        #: per-register join/widen diff that failed to converge.
+        self.loop_header: Optional[int] = None
+        self.invariant_text: Optional[str] = None
+        self.state_diff: Optional[List[str]] = None
         prefix = f"insn {pc}: " if pc is not None else ""
         super().__init__(prefix + message)
 
@@ -151,6 +177,14 @@ class VerifierError(Exception):
             lines.append("  path: " + " -> ".join(str(p) for p in shown))
         if self.state_text is not None:
             lines.append(f"  state: {self.state_text}")
+        if self.loop_header is not None:
+            lines.append(f"  loop header: insn {self.loop_header}")
+        if self.invariant_text is not None:
+            lines.append(f"  header invariant: {self.invariant_text}")
+        if self.state_diff:
+            lines.append("  joined/widened header diff (old -> new):")
+            for entry in self.state_diff:
+                lines.append(f"    {entry}")
         return "\n".join(lines)
 
 
@@ -355,13 +389,17 @@ def state_subsumes(old: AbstractState, new: AbstractState) -> bool:
     from ``old``, every behavior reachable from ``new`` was covered.
 
     Conservative wherever covering is not pointwise: live references
-    and variable-offset packet proofs force exact matching (handled by
-    the explorer's black set), so subsumption only fires on ref-free
-    states — by far the common case in loop bodies.
+    and variable-offset packet proofs held by ``old`` force exact
+    matching (handled by the explorer's black set).  ``new`` may carry
+    variable-offset proofs ``old`` lacks: those only *constrain* the
+    concrete states reachable from ``new`` (they are facts, not values),
+    and the subtree explored from ``old`` verified without relying on
+    them — this is what lets states flowing out of joined/widened loop
+    bodies still be pruned downstream.
     """
     if old.refs or new.refs:
         return False
-    if old.pkt_vchecked or new.pkt_vchecked:
+    if old.pkt_vchecked:
         return False
     # More proven packet bytes = strictly safer; `old` must have proven
     # no more than `new` has.
@@ -381,6 +419,145 @@ def state_subsumes(old: AbstractState, new: AbstractState) -> bool:
     return True
 
 
+def reg_join(a: Reg, b: Reg) -> Reg:
+    """Least upper bound of two register states.  ``NOT_INIT`` is the
+    domain's top: joining incompatible registers (pointer kinds, offsets
+    or identities that differ between loop iterations) yields an
+    uninitialized register — sound, because any later *read* of it is
+    rejected.  Scalars join their value ranges; pointers that agree on
+    everything but nullability keep the weaker (maybe-NULL) view.
+    """
+    if a == b:
+        return a
+    if a.kind == SCALAR and b.kind == SCALAR:
+        return scalar_range(a.rng.join(b.rng))
+    if (
+        a.kind == b.kind
+        and a.is_pointer
+        and a.off == b.off
+        and a.var is None and b.var is None
+        and a.var_id is None and b.var_id is None
+        and a.ref_id is None and b.ref_id is None
+        and a.size == b.size
+    ):
+        return replace(a, maybe_null=a.maybe_null or b.maybe_null)
+    return _NOT_INIT_REG
+
+
+def state_join(a: AbstractState, b: AbstractState) -> Optional[AbstractState]:
+    """Pointwise least upper bound of two states at the same program
+    point (a loop header).  Returns ``None`` when no sound join exists:
+    live acquired references must match exactly — a loop that acquires
+    or releases across iterations has no per-header invariant in this
+    domain.  Stack slots surviving the join as ``NOT_INIT`` are dropped
+    (absent and uninitialized are the same abstraction); packet proofs
+    keep only what *both* states proved.
+    """
+    if a.refs != b.refs:
+        return None
+    regs = tuple(reg_join(x, y) for x, y in zip(a.regs, b.regs))
+    a_slots, b_slots = dict(a.stack), dict(b.stack)
+    slots = {}
+    for off in set(a_slots) & set(b_slots):
+        j = reg_join(a_slots[off], b_slots[off])
+        if j.kind != NOT_INIT:
+            slots[off] = j
+    av, bv = dict(a.pkt_vchecked), dict(b.pkt_vchecked)
+    vchecked = tuple(sorted(
+        (vid, min(av[vid], bv[vid])) for vid in set(av) & set(bv)
+    ))
+    return AbstractState(
+        regs=regs,
+        stack=tuple(sorted(slots.items())),
+        refs=a.refs,
+        pkt_checked=min(a.pkt_checked, b.pkt_checked),
+        pkt_vchecked=vchecked,
+    )
+
+
+def state_widen(old: AbstractState, new: AbstractState) -> AbstractState:
+    """Widen ``old`` (the previous header invariant) against ``new``
+    (its join with the latest back-edge state): every scalar whose
+    bounds grew jumps to type limits via :func:`range_widen` so the
+    fixpoint converges in O(1) iterations instead of one per trip."""
+    regs = tuple(
+        scalar_range(range_widen(o.rng, n.rng))
+        if o.kind == SCALAR and n.kind == SCALAR
+        else n
+        for o, n in zip(old.regs, new.regs)
+    )
+    old_slots = dict(old.stack)
+    slots = []
+    for off, n in new.stack:
+        o = old_slots.get(off)
+        if o is not None and o.kind == SCALAR and n.kind == SCALAR:
+            slots.append((off, scalar_range(range_widen(o.rng, n.rng))))
+        else:
+            slots.append((off, n))
+    return replace(new, regs=regs, stack=tuple(slots))
+
+
+def _reg_text(r: Reg) -> str:
+    d = r.describe("x")
+    return d[2:] if d is not None else "not_init"
+
+
+def _state_diff(old: AbstractState, new: AbstractState) -> List[str]:
+    """Per-slot rendering of how a header state grew under join/widen —
+    the ``--explain`` payload for loops that fail to converge."""
+    diff: List[str] = []
+    for i, (o, n) in enumerate(zip(old.regs, new.regs)):
+        if o != n:
+            diff.append(f"r{i}: {_reg_text(o)} -> {_reg_text(n)}")
+    old_slots, new_slots = dict(old.stack), dict(new.stack)
+    for off in sorted(set(old_slots) | set(new_slots)):
+        o = old_slots.get(off, _NOT_INIT_REG)
+        n = new_slots.get(off, _NOT_INIT_REG)
+        if o != n:
+            diff.append(f"fp{off:+d}: {_reg_text(o)} -> {_reg_text(n)}")
+    if old.pkt_checked != new.pkt_checked:
+        diff.append(f"pkt_checked: {old.pkt_checked} -> {new.pkt_checked}")
+    return diff
+
+
+def _writes_reg(insn: Insn, reg: int) -> bool:
+    """Does executing ``insn`` write register ``reg``?  (Kfunc calls
+    clobber the caller-saved window r0-r5.)"""
+    if isinstance(insn, (Mov, Alu, Load)) and insn.dst == reg:
+        return True
+    if isinstance(insn, Call) and reg <= 5:
+        return True
+    return False
+
+
+class _NeedsWidening(Exception):
+    """Internal control flow: the invariant at ``header`` must grow to
+    ``state``; the verifier restarts exploration with the new invariant.
+    Deliberately *not* a :class:`VerifierError` — it never escapes
+    :meth:`Verifier.verify`."""
+
+    def __init__(
+        self, header: int, state: AbstractState,
+        old: Optional[AbstractState] = None,
+    ) -> None:
+        self.header = header
+        self.state = state
+        self.old = old
+        super().__init__(f"widen loop header {header}")
+
+
+@dataclass(frozen=True)
+class LoopInvariant:
+    """Proof record for one widened loop: the fixpoint header state and
+    the monotone-counter argument that bounds its trips."""
+
+    header: int        # loop-header instruction index
+    back_edge: int     # back-edge instruction index
+    trip_bound: int    # proven max back-edge traversals per loop entry
+    counter_reg: int   # the register proven to make monotone progress
+    invariant: str     # rendered fixpoint header state
+
+
 @dataclass(frozen=True)
 class VerifierStats:
     """Exploration statistics for one accepted program."""
@@ -390,6 +567,11 @@ class VerifierStats:
     loops_bounded: int = 0
     max_trip_count: int = 0
     states_pruned: int = 0
+    #: Loops verified by join/widen fixpoint (data-dependent trip
+    #: counts) — counted separately from constant-trip ``loops_bounded``.
+    loops_widened: int = 0
+    #: Join/widen restarts it took the loop invariants to converge.
+    fixpoint_iters: int = 0
 
 
 @dataclass(frozen=True)
@@ -412,6 +594,14 @@ class ProofAnnotations:
     states_explored: int = 0
     states_pruned: int = 0
     facts: Dict[int, List[str]] = field(default_factory=dict)
+    #: Widened loops by header pc: fixpoint invariant + proven trip
+    #: bound.  Disjoint from ``loop_bounds`` — the JIT must *not* unroll
+    #: these (their abstract traversal count is O(1), not a trip count).
+    loop_invariants: Dict[int, LoopInvariant] = field(default_factory=dict)
+    #: Extra step budget for widened loops: their concrete trips are not
+    #: covered by the explored-states graph, so the VM/JIT runaway
+    #: guards add the proven ``trip_bound * body`` products here.
+    widened_steps: int = 0
 
     @property
     def checks_elided(self) -> int:
@@ -431,14 +621,25 @@ class VerifiedProgram:
         return self.stats.states_explored
 
     @property
+    def widened_steps(self) -> int:
+        return self.annotations.widened_steps
+
+    @property
+    def loop_invariants(self) -> Dict[int, LoopInvariant]:
+        return self.annotations.loop_invariants
+
+    @property
     def max_steps(self) -> int:
         """Sound step budget for the VM.  An accepted program's covering
         graph — explored states plus pruned states re-routed to the
         black states that subsumed them — is acyclic (prune edges always
         point to earlier-blackened states), so a concrete run takes at
-        most one step per node of that graph."""
+        most one step per node of that graph.  Widened loops are the
+        exception: their back-edges close cycles in the covering graph,
+        so their proven ``trip_bound * body`` budgets are added on top
+        (``ProofAnnotations.widened_steps``)."""
         return (self.stats.states_explored + self.stats.states_pruned
-                + len(self.prog) + 64)
+                + self.annotations.widened_steps + len(self.prog) + 64)
 
 
 class _Frame:
@@ -464,18 +665,74 @@ class Verifier:
         max_states: int = MAX_STATES,
         collect_facts: bool = False,
         prune: bool = True,
+        widen: str = "auto",
     ) -> None:
+        if widen not in ("auto", "always", "off"):
+            raise ValueError(f"widen must be auto/always/off, not {widen!r}")
         self.registry = registry
         self.prog_type = prog_type
         self.max_states = max_states
         self.collect_facts = collect_facts
         self.prune = prune
+        #: Loop-widening mode: ``auto`` unrolls small loops per-trip and
+        #: switches to join/widen fixpoints past ``WIDEN_AFTER_TRIPS``
+        #: (or on a repeating back-edge state); ``always`` widens every
+        #: back-edge target from the start (precision-ablation mode);
+        #: ``off`` reproduces the pre-widening verifier exactly.
+        self.widen = widen
 
     # -- public API ------------------------------------------------------
 
     def verify(self, prog: Program) -> VerifiedProgram:
         """Raise :class:`VerifierError` if ``prog`` is unsafe; return the
-        :class:`VerifiedProgram` proof table otherwise."""
+        :class:`VerifiedProgram` proof table otherwise.
+
+        Runs as a fixpoint driver around :meth:`_explore`: whenever a
+        loop header's invariant must grow (join or widen), exploration
+        restarts with the larger header state — the final, converged
+        attempt is the one whose proofs are kept, so every ``safe_mem``
+        / ``safe_div`` fact holds under the widened invariants too.
+        """
+        self._widen_headers: Set[int] = set()
+        self._invariants: Dict[int, AbstractState] = {}
+        self._join_counts: Dict[int, int] = {}
+        self._widened_edges: Dict[int, Set[int]] = {}
+        #: Last (old, grown) invariant pair per header — the diff shown
+        #: by ``--explain`` when a widened loop is ultimately rejected.
+        self._grow_diff: Dict[int, Tuple[AbstractState, AbstractState]] = {}
+        if self.widen == "always":
+            for pc, insn in enumerate(prog):
+                tgt = getattr(insn, "target", None)
+                if tgt is not None and tgt <= pc:
+                    self._widen_headers.add(tgt)
+        fixpoint_iters = 0
+        while True:
+            self._widened_edges = {}
+            try:
+                return self._explore(prog, fixpoint_iters)
+            except _NeedsWidening as grow:
+                fixpoint_iters += 1
+                if fixpoint_iters > MAX_FIXPOINT_ITERS:
+                    err = VerifierError(
+                        "widening did not converge within "
+                        f"{MAX_FIXPOINT_ITERS} fixpoint iterations "
+                        "(abstract state keeps growing across the "
+                        "back-edge)",
+                        grow.header,
+                    )
+                    err.loop_header = grow.header
+                    err.state_text = grow.state.describe()
+                    if grow.old is not None:
+                        err.state_diff = _state_diff(grow.old, grow.state)
+                    self._enrich_error(err, prog, [])
+                    raise err
+                self._widen_headers.add(grow.header)
+                self._invariants[grow.header] = grow.state
+                if grow.old is not None:
+                    self._grow_diff[grow.header] = (grow.old, grow.state)
+
+    def _explore(self, prog: Program, fixpoint_iters: int) -> VerifiedProgram:
+        """One exploration attempt under the current loop invariants."""
         self._safe_mem: Set[int] = set()
         self._safe_div: Set[int] = set()
         self._trips: Dict[int, int] = {}
@@ -492,6 +749,10 @@ class Verifier:
         black_by_pc: Dict[int, List[AbstractState]] = {}
 
         state0 = initial_state()
+        if 0 in self._widen_headers:
+            # The entry point itself is a loop header: program entry is
+            # just one more edge into its invariant.
+            state0 = self._join_into_invariant(0, state0, 0)
         root = _Frame(0, state0, (0, state0.key()))
         frames: List[_Frame] = [root]
         gray.add(root.key)
@@ -519,10 +780,46 @@ class Verifier:
                     continue
                 nxt_pc, nxt_state = fr.succs[fr.idx]
                 fr.idx += 1
-                if nxt_pc <= fr.pc:
-                    self._trips[fr.pc] = self._trips.get(fr.pc, 0) + 1
+                back_edge = nxt_pc <= fr.pc
+                widened = nxt_pc in self._widen_headers
+                if widened:
+                    # Every edge into a widened header flows through its
+                    # invariant: the join detects growth (restarting the
+                    # fixpoint), and a covered state routes to the one
+                    # canonical header state — O(1) states per header.
+                    nxt_state = self._join_into_invariant(
+                        nxt_pc, nxt_state, fr.pc
+                    )
+                    if back_edge:
+                        self._widened_edges.setdefault(
+                            nxt_pc, set()
+                        ).add(fr.pc)
+                elif back_edge:
+                    trips = self._trips.get(fr.pc, 0) + 1
+                    self._trips[fr.pc] = trips
+                    if self.widen == "auto" and trips > WIDEN_AFTER_TRIPS:
+                        # Too many distinct per-trip states: stop
+                        # unrolling this loop and widen it instead.
+                        raise _NeedsWidening(nxt_pc, nxt_state)
                 key = (nxt_pc, nxt_state.key())
                 if key in gray:
+                    if widened and back_edge:
+                        # Fixpoint reached: the back-edge re-enters the
+                        # header invariant already on the DFS stack.
+                        # Sound despite the abstract cycle — termination
+                        # is proven separately by the monotone-counter
+                        # trip bound (see _prove_widened_loops).
+                        continue
+                    if self.widen != "off":
+                        if back_edge and not widened:
+                            raise _NeedsWidening(nxt_pc, nxt_state)
+                        # The cycle closed on a forward edge: widen the
+                        # header of the back-edge inside the on-stack
+                        # cycle instead (unless already widened — then
+                        # the loop is irreducible in this domain).
+                        hdr = self._cycle_header(frames, key)
+                        if hdr is not None and hdr[0] not in self._widen_headers:
+                            raise _NeedsWidening(hdr[0], hdr[1])
                     raise VerifierError(
                         "possible unbounded loop: abstract state repeats "
                         "on a back-edge (no provable progress)",
@@ -551,6 +848,7 @@ class Verifier:
             self._enrich_error(exc, prog, frames)
             raise
 
+        invariants = self._prove_widened_loops(prog)
         annotations = ProofAnnotations(
             safe_mem=frozenset(self._safe_mem),
             safe_div=frozenset(self._safe_div),
@@ -558,6 +856,8 @@ class Verifier:
             states_explored=explored,
             states_pruned=pruned,
             facts=facts,
+            loop_invariants=invariants,
+            widened_steps=self._widened_step_budget(prog, invariants),
         )
         stats = VerifierStats(
             states_explored=explored,
@@ -565,8 +865,278 @@ class Verifier:
             loops_bounded=len(self._trips),
             max_trip_count=max(self._trips.values(), default=0),
             states_pruned=pruned,
+            loops_widened=len(invariants),
+            fixpoint_iters=fixpoint_iters,
         )
         return VerifiedProgram(prog=prog, stats=stats, annotations=annotations)
+
+    # -- loop widening ----------------------------------------------------
+
+    def _join_into_invariant(
+        self, header: int, state: AbstractState, from_pc: int
+    ) -> AbstractState:
+        """Merge an edge into a widened loop header.  Returns the header
+        invariant when it already covers ``state`` (routing the edge to
+        the canonical header state); raises :class:`_NeedsWidening` to
+        restart exploration when the invariant must grow."""
+        inv = self._invariants.get(header)
+        if inv is None:
+            self._invariants[header] = state
+            return state
+        if inv.key() == state.key():
+            return inv
+        joined = state_join(inv, state)
+        if joined is None:
+            err = VerifierError(
+                f"loop at insn {header}: cannot join abstract states "
+                "across the back-edge (live acquired references differ "
+                "between iterations)",
+                from_pc,
+            )
+            err.loop_header = header
+            err.invariant_text = inv.describe()
+            raise err
+        if joined.key() == inv.key():
+            return inv
+        n = self._join_counts.get(header, 0) + 1
+        self._join_counts[header] = n
+        if n > WIDEN_JOINS:
+            joined = state_widen(inv, joined)
+        raise _NeedsWidening(header, joined, inv)
+
+    @staticmethod
+    def _cycle_header(
+        frames: List[_Frame], key: Tuple
+    ) -> Optional[Tuple[int, AbstractState]]:
+        """A repeating state closed a cycle via a *forward* edge: walk
+        the on-stack segment of that cycle (from the gray ancestor down)
+        and return the target of the first back-edge inside it — that is
+        the loop header worth widening."""
+        start = None
+        for i, fr in enumerate(frames):
+            if fr.key == key:
+                start = i
+                break
+        if start is None:
+            return None
+        for i in range(start, len(frames) - 1):
+            nxt = frames[i + 1]
+            if nxt.pc <= frames[i].pc:
+                return nxt.pc, nxt.state
+        return None
+
+    def _prove_widened_loops(
+        self, prog: Program
+    ) -> Dict[int, LoopInvariant]:
+        """Widening alone proves safety, not termination: for each
+        widened loop actually closed by a back-edge, derive a concrete
+        trip bound from a monotone-counter progress argument, or reject
+        the program."""
+        out: Dict[int, LoopInvariant] = {}
+        for header in sorted(self._widened_edges):
+            inv = self._invariants.get(header)
+            if inv is None:
+                continue
+            srcs = sorted(self._widened_edges[header])
+            out[header] = self._prove_one_loop(prog, header, srcs, inv)
+        return out
+
+    def _prove_one_loop(
+        self,
+        prog: Program,
+        header: int,
+        srcs: List[int],
+        inv: AbstractState,
+    ) -> LoopInvariant:
+        src = max(srcs)
+
+        def fail(msg: str) -> "VerifierError":
+            err = VerifierError(
+                f"widened loop at insn {header}: {msg} "
+                f"(back-edge at insn {src})",
+                src,
+            )
+            err.loop_header = header
+            err.invariant_text = inv.describe()
+            if header in self._grow_diff:
+                err.state_diff = _state_diff(*self._grow_diff[header])
+            self._enrich_error(err, prog, [])
+            return err
+
+        if len(srcs) != 1:
+            raise fail("multiple back-edges reach this header; no single "
+                       "progress argument covers them")
+        # The body [header, src] must be a DAG apart from the back-edge
+        # itself — nested loops inside a widened body are not supported.
+        for pc in range(header, src):
+            tgt = getattr(prog[pc], "target", None)
+            if tgt is not None and tgt <= pc:
+                raise fail(f"nested back-edge at insn {pc} inside the "
+                           "widened body")
+
+        counter, bound_operand, strict = self._continue_condition(
+            prog, header, src
+        )
+        if counter is None:
+            raise fail("no provable progress: the back-edge is not a "
+                       "supported bounded-counter loop shape "
+                       "(while/do-while on a lt/le/gt/ge test)")
+
+        # The bound operand must be loop-invariant; the counter may only
+        # be advanced by constant positive increments.
+        for pc in range(header, src + 1):
+            insn = prog[pc]
+            if isinstance(bound_operand, int) and _writes_reg(
+                insn, bound_operand
+            ):
+                raise fail(f"loop bound register r{bound_operand} is "
+                           "modified inside the body")
+            if _writes_reg(insn, counter):
+                if not (
+                    isinstance(insn, Alu)
+                    and insn.op == "add"
+                    and insn.dst == counter
+                    and isinstance(insn.src, Imm)
+                    and insn.src.value >= 1
+                ):
+                    raise fail(
+                        f"no provable progress: r{counter} is written at "
+                        f"insn {pc} by something other than a constant "
+                        "positive increment"
+                    )
+
+        inc = self._body_increments(prog, header, src, counter)
+        if inc is None:
+            raise fail("the loop body has no path back to the back-edge")
+        min_inc, max_inc = inc
+        if min_inc < 1:
+            raise fail(
+                f"no provable progress: some header-to-back-edge path "
+                f"leaves counter r{counter} unchanged"
+            )
+
+        if isinstance(bound_operand, Imm):
+            bound = bound_operand.value & ((1 << 64) - 1)
+        else:
+            breg = inv.regs[bound_operand]
+            if breg.kind != SCALAR:
+                raise fail(f"loop bound r{bound_operand} is not a scalar "
+                           "in the header invariant")
+            bound = breg.rng.umax
+        if not strict:
+            bound += 1  # continue while counter <= bound
+        if bound + max_inc > (1 << 64):
+            raise fail(f"counter r{counter} may wrap: loop bound {bound} "
+                       "is too close to 2^64")
+        trips = bound // max(min_inc, 1) + 2
+        if trips > MAX_WIDENED_TRIPS:
+            raise fail(
+                f"derived trip bound {trips} exceeds the widened-loop "
+                f"limit {MAX_WIDENED_TRIPS} — mask or bounds-check the "
+                "loop bound first"
+            )
+        return LoopInvariant(
+            header=header,
+            back_edge=src,
+            trip_bound=trips,
+            counter_reg=counter,
+            invariant=inv.describe(),
+        )
+
+    @staticmethod
+    def _continue_condition(
+        prog: Program, header: int, src: int
+    ) -> Tuple[Optional[int], Optional[Union[int, Imm]], bool]:
+        """Extract (counter_reg, bound_operand, strict) from the loop's
+        continue condition.  ``strict`` means the loop continues while
+        ``counter < bound`` (vs ``<=``).  Two supported shapes:
+
+        - do-while: the back-edge is ``JmpIf(op, ..., header)`` and
+          continuing means *taking* the branch;
+        - while: the back-edge is an unconditional ``Jmp(header)`` and
+          the header instruction is the exit test — continuing means
+          *falling through* it.
+        """
+        back = prog[src]
+        if isinstance(back, JmpIf) and back.target == header:
+            op = back.op
+            if op in ("lt", "le"):
+                return back.lhs, back.rhs, op == "lt"
+            if op in ("gt", "ge") and isinstance(back.rhs, int):
+                # counter on the right: continue while rhs < lhs
+                return back.rhs, back.lhs, op == "gt"
+            return None, None, False
+        if isinstance(back, Jmp) and back.target == header:
+            head = prog[header]
+            if not isinstance(head, JmpIf):
+                return None, None, False
+            if header <= head.target <= src:
+                return None, None, False  # exit branch must leave the loop
+            op = head.op
+            # Continue = the exit branch NOT taken (its negation).
+            if op in ("ge", "gt"):      # not(lhs >= rhs) -> lhs < rhs
+                return head.lhs, head.rhs, op == "ge"
+            if op in ("le", "lt") and isinstance(head.rhs, int):
+                # not(lhs <= rhs) -> rhs < lhs: rhs is the counter
+                return head.rhs, head.lhs, op == "le"
+            return None, None, False
+        return None, None, False
+
+    @staticmethod
+    def _body_increments(
+        prog: Program, header: int, src: int, counter: int
+    ) -> Optional[Tuple[int, int]]:
+        """(min, max) total increment applied to ``counter`` over any
+        header-to-back-edge path through the body DAG (paths that exit
+        the loop don't count — they never traverse the back-edge)."""
+        minmax: Dict[int, Tuple[int, int]] = {src: (0, 0)}
+        for pc in range(src - 1, header - 1, -1):
+            insn = prog[pc]
+            k = 0
+            if (
+                isinstance(insn, Alu)
+                and insn.op == "add"
+                and insn.dst == counter
+                and isinstance(insn.src, Imm)
+            ):
+                k = insn.src.value
+            if isinstance(insn, Exit):
+                continue
+            if isinstance(insn, Jmp):
+                succs = [insn.target] if header <= insn.target <= src else []
+            elif isinstance(insn, JmpIf):
+                succs = [pc + 1]
+                if header <= insn.target <= src:
+                    succs.append(insn.target)
+            else:
+                succs = [pc + 1]
+            reach = [minmax[s] for s in succs if s in minmax]
+            if not reach:
+                continue
+            minmax[pc] = (
+                min(r[0] for r in reach) + k,
+                max(r[1] for r in reach) + k,
+            )
+        return minmax.get(header)
+
+    def _widened_step_budget(
+        self, prog: Program, invariants: Dict[int, LoopInvariant]
+    ) -> int:
+        """Concrete-step budget contributed by widened loops: proven
+        trips times body length, multiplied through any enclosing
+        constant-trip loops (whose own traversals are already in the
+        explored-states budget, but which re-enter the widened loop once
+        per trip)."""
+        total = 0
+        for header, li in invariants.items():
+            body = li.back_edge - header + 1
+            mult = 1
+            for s_pc, s_trips in self._trips.items():
+                tgt = getattr(prog[s_pc], "target", None)
+                if tgt is not None and tgt <= header and s_pc >= li.back_edge:
+                    mult *= s_trips + 1
+            total += (li.trip_bound + 2) * body * mult
+        return total
 
     @staticmethod
     def _prune_points(prog: Program) -> FrozenSet[int]:

@@ -8,7 +8,10 @@ range-aware verifier proved:
   (``--facts``; on by default for a single program),
 - rejection diagnostics with the offending path (``--explain``),
 - a JSON report of verifier stats: states explored, states pruned,
-  checks elided, loops bounded (``--json``),
+  checks elided, loops bounded/widened and fixpoint iterations
+  (``--json``); ``--widen off`` restores the seed verifier's per-trip
+  loop enumeration and ``--widen always`` force-widens every back-edge
+  target (the precision-ablation modes of ``bench_widening.py``),
 - the JIT backend (``--backend jit``): every accepted program is
   lowered to its generated-Python closure with per-program compile
   time; adding ``--bench`` also executes each program on both backends
@@ -77,11 +80,15 @@ def _verify_one(
         "states_pruned": vp.stats.states_pruned,
         "checks_elided": vp.stats.checks_elided,
         "loops_bounded": vp.stats.loops_bounded,
+        "loops_widened": vp.stats.loops_widened,
+        "fixpoint_iters": vp.stats.fixpoint_iters,
         "max_trip_count": vp.stats.max_trip_count,
         "safe_mem": sorted(vp.annotations.safe_mem),
         "safe_div": sorted(vp.annotations.safe_div),
         "loop_bounds": {str(k): v for k, v in sorted(
             vp.annotations.loop_bounds.items())},
+        "loop_invariants": {str(k): inv.trip_bound for k, inv in sorted(
+            vp.annotations.loop_invariants.items())},
         "_verified": vp,
     }
 
@@ -218,6 +225,11 @@ def _print_facts(prog: Program, vp: Optional[VerifiedProgram],
                 tags.append("div-check elided")
             if i in ann.loop_bounds:
                 tags.append(f"back-edge x{ann.loop_bounds[i]}")
+            if i in ann.loop_invariants:
+                tags.append(
+                    "widened header, trips <= "
+                    f"{ann.loop_invariants[i].trip_bound}"
+                )
         tag = f"   ; {', '.join(tags)}" if tags else ""
         print(f"{i:4d}: {disassemble_one(insn)}{tag}")
         for state_text in facts.get(i, []):
@@ -234,6 +246,11 @@ def _print_result(result: Dict[str, Any], case: Optional[ProgCase],
             f"{result['checks_elided']} checks elided, "
             f"{result['loops_bounded']} loops bounded"
         )
+        if result.get("loops_widened"):
+            stats += (
+                f", {result['loops_widened']} widened "
+                f"({result['fixpoint_iters']} fixpoint iters)"
+            )
         expected = "" if case is None or case.accept else "  [UNEXPECTED]"
         print(f"ACCEPT  {name}  ({stats}){expected}")
     else:
@@ -323,6 +340,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="override the verifier's state-exploration limit",
     )
     parser.add_argument(
+        "--widen", choices=("auto", "always", "off"), default="auto",
+        help="loop widening mode: 'auto' widens on demand, 'always' "
+             "widens every back-edge target (precision ablation), 'off' "
+             "restores the per-trip enumeration of the seed verifier",
+    )
+    parser.add_argument(
         "--backend", choices=("interp", "jit"), default="interp",
         help="with 'jit', lower every accepted program to its "
              "generated-Python closure and report per-program compile time",
@@ -348,7 +371,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     registry = default_registry()
-    kwargs: Dict[str, Any] = {"collect_facts": True}
+    kwargs: Dict[str, Any] = {"collect_facts": True, "widen": args.widen}
     if args.max_states is not None:
         kwargs["max_states"] = args.max_states
     verifier = Verifier(registry, **kwargs)
@@ -478,6 +501,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             r.get("checks_elided", 0) for r in report["programs"]),
         "loops_bounded": sum(
             r.get("loops_bounded", 0) for r in report["programs"]),
+        "loops_widened": sum(
+            r.get("loops_widened", 0) for r in report["programs"]),
+        "fixpoint_iters": sum(
+            r.get("fixpoint_iters", 0) for r in report["programs"]),
         "unexpected": len(report["unexpected"]),
     }
     if args.chains:
@@ -493,7 +520,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{s['rejected']} rejected; {s['states_explored']} states "
             f"explored ({s['states_pruned']} pruned), "
             f"{s['checks_elided']} checks elided, "
-            f"{s['loops_bounded']} loops bounded"
+            f"{s['loops_bounded']} loops bounded, "
+            f"{s['loops_widened']} widened"
         )
         for problem in report["unexpected"]:
             print(f"UNEXPECTED: {problem}", file=sys.stderr)

@@ -216,10 +216,13 @@ class Vm:
                 # An accepted program's abstract state graph is acyclic
                 # (pruned states included — subsumption edges point to
                 # earlier states): a concrete run takes at most one
-                # step per explored-or-pruned abstract state.
+                # step per explored-or-pruned abstract state.  Widened
+                # loops close cycles in that graph, so their proven
+                # trip budgets are added separately.
                 max_steps = (
                     self.proofs.states_explored
                     + getattr(self.proofs, "states_pruned", 0)
+                    + getattr(self.proofs, "widened_steps", 0)
                     + len(prog)
                     + 64
                 )

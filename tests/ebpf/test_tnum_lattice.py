@@ -1,0 +1,218 @@
+"""Property tests for the abstract-domain lattice behind widening.
+
+The loop fixpoint of :mod:`repro.ebpf.verifier` is sound only if the
+underlying operators are: ``Tnum.union`` / ``ScalarRange.join`` must be
+upper bounds (no concrete value escapes the join), join must be
+idempotent and commutative, and ``range_widen`` must cover the join it
+replaces while reaching a fixpoint in a bounded number of steps.
+
+Every strategy here produces an *(abstraction, witness)* pair — a
+random concrete u64 plus a randomized abstraction built around it — so
+soundness is checked against values known to be in the concretization,
+not against the abstraction's own (possibly buggy) membership test.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ebpf.tnum import (
+    MASK64,
+    S64_MAX,
+    S64_MIN,
+    ScalarRange,
+    Tnum,
+    _s64,
+    range_join,
+    range_subsumes,
+    range_widen,
+)
+
+
+def _contains(r: ScalarRange, v: int) -> bool:
+    """v is in the concretization of r (all components agree)."""
+    sv = _s64(v)
+    return (
+        r.umin <= v <= r.umax
+        and r.smin <= sv <= r.smax
+        and r.tnum.contains(v)
+    )
+
+
+def _key(r: ScalarRange):
+    return (r.tnum.value, r.tnum.mask, r.umin, r.umax, r.smin, r.smax)
+
+
+def _canon(r: ScalarRange) -> ScalarRange:
+    """Normalize to a fixpoint.
+
+    One ``normalized()`` pass propagates facts between components but
+    is not a full canonicalization (e.g. a tightened umax can enable a
+    further smax tightening) — idempotence of join only holds on fully
+    canonical inputs, so the generators canonicalize here.
+    """
+    while True:
+        n = r.normalized()
+        assert n is not None, r
+        if _key(n) == _key(r):
+            return n
+        r = n
+
+
+@st.composite
+def tnum_with_witness(draw):
+    """(tnum, v) with v in the tnum's concretization."""
+    v = draw(st.integers(0, MASK64))
+    mask = draw(st.integers(0, MASK64))
+    return Tnum(v & ~mask & MASK64, mask), v
+
+
+@st.composite
+def range_with_witness(draw):
+    """(range, v) with v in the range's concretization.
+
+    Built by loosening each component of the exact abstraction of v
+    independently, then normalizing — normalization is
+    concretization-preserving, so v stays inside.
+    """
+    v = draw(st.integers(0, MASK64))
+    sv = _s64(v)
+    slack = st.integers(0, 1 << draw(st.integers(0, 63)))
+    umin = max(0, v - draw(slack))
+    umax = min(MASK64, v + draw(slack))
+    smin = max(S64_MIN, sv - draw(slack))
+    smax = min(S64_MAX, sv + draw(slack))
+    mask = draw(st.integers(0, MASK64))
+    tnum = Tnum(v & ~mask & MASK64, mask)
+    raw = ScalarRange(tnum, umin, umax, smin, smax)
+    # v is a member of every component, so the meet is non-empty and
+    # normalization must not collapse it to bottom.
+    r = _canon(raw)
+    assert _contains(r, v), (raw, v)
+    return r, v
+
+
+@settings(max_examples=300, deadline=None)
+@given(tnum_with_witness(), tnum_with_witness())
+def test_tnum_union_sound(a, b):
+    ta, va = a
+    tb, vb = b
+    u = ta.union(tb)
+    assert u.contains(va), (ta, tb, va)
+    assert u.contains(vb), (ta, tb, vb)
+
+
+@settings(max_examples=200, deadline=None)
+@given(tnum_with_witness())
+def test_tnum_union_idempotent(a):
+    t, _ = a
+    assert t.union(t) == t
+
+
+@settings(max_examples=300, deadline=None)
+@given(range_with_witness(), range_with_witness())
+def test_join_sound(a, b):
+    ra, va = a
+    rb, vb = b
+    j = range_join(ra, rb)
+    assert _contains(j, va), (ra, rb, va)
+    assert _contains(j, vb), (ra, rb, vb)
+
+
+@settings(max_examples=200, deadline=None)
+@given(range_with_witness())
+def test_join_idempotent(a):
+    r, _ = a
+    assert _key(range_join(r, r)) == _key(r)
+
+
+@settings(max_examples=200, deadline=None)
+@given(range_with_witness(), range_with_witness())
+def test_join_commutative(a, b):
+    ra, _ = a
+    rb, _ = b
+    assert _key(range_join(ra, rb)) == _key(range_join(rb, ra))
+
+
+@settings(max_examples=200, deadline=None)
+@given(range_with_witness(), range_with_witness())
+def test_join_is_upper_bound(a, b):
+    """The subsumption check the pruner uses agrees that the join
+    covers both operands — ties the lattice to ``state_subsumes``."""
+    ra, _ = a
+    rb, _ = b
+    j = range_join(ra, rb)
+    assert range_subsumes(j, ra), (ra, rb, j)
+    assert range_subsumes(j, rb), (ra, rb, j)
+
+
+@settings(max_examples=200, deadline=None)
+@given(range_with_witness(), range_with_witness(), range_with_witness())
+def test_join_monotone_in_witnesses(a, b, c):
+    """Joining in more operands never drops a previously covered
+    witness (monotonicity, observed through concretizations)."""
+    ra, va = a
+    rb, vb = b
+    rc, vc = c
+    j2 = range_join(range_join(ra, rb), rc)
+    assert _contains(j2, va) and _contains(j2, vb) and _contains(j2, vc)
+
+
+@settings(max_examples=300, deadline=None)
+@given(range_with_witness(), range_with_witness())
+def test_widen_covers_join(a, b):
+    """widen(old, join(old, new)) is sound for both witnesses and
+    subsumes the join it replaces."""
+    ra, va = a
+    rb, vb = b
+    j = range_join(ra, rb)
+    w = range_widen(ra, j)
+    assert _contains(w, va), (ra, rb, w)
+    assert _contains(w, vb), (ra, rb, w)
+    assert range_subsumes(w, j), (ra, rb, j, w)
+
+
+@settings(max_examples=200, deadline=None)
+@given(range_with_witness(), range_with_witness())
+def test_widen_idempotent_once_covering(a, b):
+    """Once widening has absorbed the growth, widening again with the
+    same state is a no-op — the fixpoint the verifier loops toward."""
+    ra, _ = a
+    rb, _ = b
+    w = range_widen(ra, range_join(ra, rb))
+    assert _key(range_widen(w, w)) == _key(w)
+
+
+def test_widen_chain_terminates():
+    """A join/widen chain against adversarial random ranges reaches a
+    fixpoint after boundedly many strict growth steps — each component
+    can only jump to its type limit once, and the tnum's known
+    alignment only shrinks.  This is what makes the verifier's
+    MAX_FIXPOINT_ITERS cap unreachable in practice."""
+    rng = random.Random(20260809)
+
+    def rand_range():
+        v = rng.getrandbits(64)
+        mask = rng.getrandbits(64)
+        span = rng.getrandbits(rng.randrange(1, 64))
+        raw = ScalarRange(
+            Tnum(v & ~mask & MASK64, mask),
+            max(0, v - span), min(MASK64, v + span),
+            max(S64_MIN, _s64(v) - span), min(S64_MAX, _s64(v) + span),
+        )
+        return _canon(raw)
+
+    w = rand_range()
+    growth_steps = 0
+    for _ in range(400):
+        j = range_join(w, rand_range())
+        if _key(j) == _key(w):
+            continue
+        w = range_widen(w, j)
+        growth_steps += 1
+    # 4 interval jumps + at most 64 alignment shrinks, plus slop for
+    # normalization interplay.
+    assert growth_steps <= 140, growth_steps
+    # And the chain genuinely stabilized: one more round is a no-op.
+    j = range_join(w, rand_range())
+    assert _key(range_widen(w, j)) == _key(w)

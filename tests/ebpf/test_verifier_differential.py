@@ -178,6 +178,45 @@ def _t_eq_dispatch(rng: random.Random):
     return insns
 
 
+def _t_data_loop(rng: random.Random):
+    """Loop bound read from a guarded packet word (data-dependent).
+
+    The bound is usually masked, sometimes additionally clamped by a
+    branch; the verifier must widen the header state and prove
+    termination from the counter.  Reject-side variants drop the mask
+    (widened trip bound overflows) or the increment (no progress)."""
+    mask = rng.choice([0x1FF, 0x3FF, 0x7FF])
+    step = rng.choice([1, 1, 1, 2, 3])
+    masked = rng.random() > 0.1
+    progress = rng.random() > 0.15
+    refine = rng.random() < 0.4
+    insns = [
+        Load(R2, R1, 0),
+        Load(R3, R1, 8),
+        Mov(R4, R2),
+        Alu("add", R4, Imm(8)),
+        None,                        # guard jump, patched to the drop tail
+        Load(R7, R2, 0),             # n = first packet word
+    ]
+    guard_at = 4
+    if masked:
+        insns.append(Alu("and", R7, Imm(mask)))
+    if refine:
+        limit = (mask >> 1) + 1
+        insns.append(JmpIf("le", R7, Imm(limit), len(insns) + 2))
+        insns.append(Mov(R7, Imm(limit)))
+    insns += [Mov(R6, Imm(0)), Mov(R0, Imm(0))]
+    header = len(insns)
+    insns.append(Alu("add", R0, Imm(5)))
+    insns.append(Alu("add", R6, Imm(step)) if progress else Mov(R5, R6))
+    insns.append(JmpIf("lt", R6, R7, header))
+    insns += [Alu("and", R0, Imm(3)), Exit()]
+    drop = len(insns)
+    insns += [Mov(R0, Imm(1)), Exit()]
+    insns[guard_at] = JmpIf("gt", R4, R3, drop)
+    return insns
+
+
 def _t_junk(rng: random.Random):
     """Random instruction soup (forward jumps only); mostly rejected."""
     n = rng.randint(3, 10)
@@ -202,7 +241,8 @@ def _t_junk(rng: random.Random):
 
 
 TEMPLATES = [_t_guarded_pkt, _t_counted_loop, _t_masked_div,
-             _t_stack_table, _t_kptr, _t_eq_dispatch, _t_junk]
+             _t_stack_table, _t_kptr, _t_eq_dispatch, _t_data_loop,
+             _t_junk]
 
 
 def _mutate(rng: random.Random, insns):
@@ -299,6 +339,34 @@ def test_differential_fuzz():
           f"of {N_PROGRAMS} (seed {SEED})")
 
 
+def test_data_loop_family_states_bounded():
+    """Widened data-dependent loops verify in O(1) abstract states per
+    header: across the template family the accepted programs' state
+    counts stay flat instead of scaling with the (data-dependent) trip
+    bound — the seed verifier needed one abstract state per trip."""
+    rng = random.Random(SEED + 1)
+    verifier = Verifier(runnable_registry(SEED))
+    accepted = widened = 0
+    for idx in range(80):
+        prog = Program(_t_data_loop(rng), name=f"dloop_{idx}")
+        try:
+            vp = verifier.verify(prog)
+        except VerifierError:
+            continue
+        accepted += 1
+        if vp.stats.loops_widened:
+            widened += 1
+            # The first fixpoint attempt enumerates at most
+            # WIDEN_AFTER_TRIPS trips before widening kicks in; the
+            # converged attempt holds one invariant state per header.
+            assert vp.stats.states_explored <= 2500, (
+                prog.name, vp.stats.states_explored)
+            assert vp.stats.fixpoint_iters <= 32, prog.name
+            assert vp.annotations.loop_invariants, prog.name
+    assert accepted >= 20, (accepted, widened)
+    assert widened >= 5, (accepted, widened)
+
+
 def test_pruning_differential():
     """Subsumption pruning is verdict-transparent: on the same corpus,
     the pruned and unpruned verifiers agree on accept/reject, on the
@@ -324,6 +392,12 @@ def test_pruning_differential():
         assert vp_p.annotations.safe_div == vp_u.annotations.safe_div, prog.name
         assert (vp_p.annotations.loop_bounds
                 == vp_u.annotations.loop_bounds), prog.name
+        assert (
+            {h: i.trip_bound
+             for h, i in vp_p.annotations.loop_invariants.items()}
+            == {h: i.trip_bound
+                for h, i in vp_u.annotations.loop_invariants.items()}
+        ), prog.name
         assert vp_u.stats.states_pruned == 0
         assert (vp_p.stats.states_explored + vp_p.stats.states_pruned
                 <= vp_u.stats.states_explored + vp_p.stats.states_pruned)
