@@ -63,6 +63,7 @@ TASK_FNS: Dict[str, Callable[..., Any]] = {
     "fig4_fig5_latency": exp.fig4_fig5_latency,
     "fig1_behavior_shares": exp.fig1_behavior_shares,
     "fig7_apps": exp.fig7_apps,
+    "fig7_apps_ir": exp.fig7_apps_ir,
     "measured_degradations": measured_degradations,
     "table2_results": table2_results,
     "fig6_interface_comparison": fig6_interface_comparison,
@@ -288,6 +289,15 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "fig7": Experiment(
         lambda n: [
             ("fig7_apps", {"apps": (app,), "n_packets": n})
+            for app in ("katran", "rakelimit", "polycube", "sketches")
+        ],
+        _merge_dicts,
+    ),
+    # Measured end-to-end (wall-clock) variant over the verified-IR
+    # ports: one subtask per app, each replaying interp/jit/fused.
+    "fig7ir": Experiment(
+        lambda n: [
+            ("fig7_apps_ir", {"apps": (app,), "n_packets": n})
             for app in ("katran", "rakelimit", "polycube", "sketches")
         ],
         _merge_dicts,

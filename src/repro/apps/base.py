@@ -17,15 +17,20 @@ exactly the component swap — the shape of the paper's experiment.
 
 from __future__ import annotations
 
-from ..ebpf.cost_model import Category, ExecMode
+from ..ebpf.cost_model import DEFAULT_COSTS, Category, ExecMode
 from ..ebpf.runtime import BpfRuntime
 from ..net.packet import Packet
 
 #: A full BPF hash-map lookup keyed by the 5-tuple: helper call +
-#: in-kernel jhash + bucket chain walk + value copy-out.
-BPF_HASH_LOOKUP_FULL = 110
+#: in-kernel jhash + bucket chain walk + value copy-out.  The values
+#: live in the shared :class:`~repro.ebpf.cost_model.CostModel` so the
+#: baseline apps and the IR ports charge from one source of truth;
+#: these aliases remain for back-compat, but apps should read
+#: ``self.rt.costs.bpf_hash_lookup_full`` so ``replace()``-based
+#: sensitivity studies reach them.
+BPF_HASH_LOOKUP_FULL = DEFAULT_COSTS.bpf_hash_lookup_full
 #: Amortized BPF hash-map update on the same path.
-BPF_HASH_UPDATE_FULL = 130
+BPF_HASH_UPDATE_FULL = DEFAULT_COSTS.bpf_hash_update_full
 
 
 class BaseApp:

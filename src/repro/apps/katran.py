@@ -14,7 +14,7 @@ from ..core.algorithms.simd import SimdOps
 from ..datastructs.cuckoo import BlockedCuckooTable
 from ..ebpf.cost_model import Category
 from ..net.packet import Packet, XdpAction
-from .base import BPF_HASH_LOOKUP_FULL, BPF_HASH_UPDATE_FULL, BaseApp
+from .base import BaseApp
 
 #: Non-core work, identical in both builds.
 EXTENDED_PARSE = 60      # L4 options / ICMP / QUIC CID peeking
@@ -44,7 +44,7 @@ class KatranApp(BaseApp):
 
     def _conn_lookup(self, key: int):
         if not self.integrated:
-            self.charge(BPF_HASH_LOOKUP_FULL, Category.BUCKETS)
+            self.charge(self.rt.costs.bpf_hash_lookup_full, Category.BUCKETS)
             return self._conn_map.get(key)
         costs = self.rt.costs
         self.charge(costs.percpu_array_lookup + costs.null_check, Category.FRAMEWORK)
@@ -59,7 +59,7 @@ class KatranApp(BaseApp):
 
     def _conn_insert(self, key: int, real: int) -> None:
         if not self.integrated:
-            self.charge(BPF_HASH_UPDATE_FULL, Category.BUCKETS)
+            self.charge(self.rt.costs.bpf_hash_update_full, Category.BUCKETS)
             self._conn_map[key] = real
         else:
             costs = self.rt.costs

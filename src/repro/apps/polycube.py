@@ -15,7 +15,7 @@ from ..core.algorithms.simd import SimdOps
 from ..datastructs.cuckoo import BlockedCuckooTable
 from ..ebpf.cost_model import Category
 from ..net.packet import Packet, XdpAction
-from .base import BPF_HASH_LOOKUP_FULL, BPF_HASH_UPDATE_FULL, BaseApp
+from .base import BaseApp
 
 FORWARD_LOGIC = 140      # port state, VLAN tag checks, STP state,
                          # FDB aging bookkeeping (unchanged by the swap)
@@ -56,7 +56,7 @@ class PolycubeBridgeApp(BaseApp):
             self.charge(8, Category.BITOPS)
             known = self._filter_test_set(mac)
             if not known:
-                self.charge(BPF_HASH_UPDATE_FULL, Category.BUCKETS)
+                self.charge(self.rt.costs.bpf_hash_update_full, Category.BUCKETS)
                 self._fdb[mac] = port
         else:
             self.charge(
@@ -88,7 +88,7 @@ class PolycubeBridgeApp(BaseApp):
 
     def _fdb_lookup(self, mac: int):
         if not self.integrated:
-            self.charge(BPF_HASH_LOOKUP_FULL, Category.BUCKETS)
+            self.charge(self.rt.costs.bpf_hash_lookup_full, Category.BUCKETS)
             return self._fdb.get(mac)
         costs = self.rt.costs
         self.charge(costs.percpu_array_lookup + costs.null_check, Category.FRAMEWORK)

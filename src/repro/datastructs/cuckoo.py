@@ -149,6 +149,16 @@ class BlockedCuckooTable:
                 return True
         return False
 
+    def items(self) -> List[Tuple[int, Any]]:
+        """Snapshot of the live ``(key, value)`` pairs, in bucket order
+        (control-plane scans: connection eviction on backend failure)."""
+        out: List[Tuple[int, Any]] = []
+        for bucket in self._buckets:
+            for entry in bucket:
+                if entry is not None:
+                    out.append((entry.key, entry.value))
+        return out
+
     @property
     def capacity(self) -> int:
         return self.n_buckets * self.slots_per_bucket

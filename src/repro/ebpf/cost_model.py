@@ -99,6 +99,11 @@ class CostModel:
     map_lookup: int = 38            # bpf_map_lookup_elem (hash+call)
     map_update: int = 55            # bpf_map_update_elem
     map_delete: int = 50
+    #: Full-path hash-map access keyed by a 5-tuple: helper call +
+    #: in-kernel jhash + bucket chain walk + value copy-out (the stock
+    #: "Origin" builds of the Fig. 7 apps charge these).
+    bpf_hash_lookup_full: int = 110
+    bpf_hash_update_full: int = 130
     percpu_array_lookup: int = 18   # cheap direct-index percpu lookup
     spin_lock: int = 15             # bpf_spin_lock (one acquire)
     spin_unlock: int = 13

@@ -978,6 +978,7 @@ def chain_nf_factory(
     registry_seed: int = 0,
     elide_checks: bool = True,
     nf_seed: int = 0,
+    registry_factory: Optional[Callable[[int], "KfuncRegistry"]] = None,
 ) -> Callable[[int], NetworkFunction]:
     """Build an ``nf_factory`` for :class:`RssDispatcher` that runs an
     IR NF *chain* on every core.
@@ -990,11 +991,21 @@ def chain_nf_factory(
     (``"interp"``, ``"jit"``, or ``"fused"``).  Verification happens once
     up front; every core shares the same :class:`VerifiedProgram` proofs
     (they are immutable) but nothing mutable.
+
+    ``registry_factory`` overrides the per-core registry constructor
+    (``core_id -> KfuncRegistry``) for chains whose kfuncs live outside
+    the bundled set — the app registries of :mod:`repro.apps.ir` — and
+    is also used for the up-front verification pass (core 0 metadata).
     """
     from ..ebpf.progs import runnable_registry
     from ..ebpf.runtime import BpfRuntime
     from ..ebpf.verifier import VerifiedProgram, Verifier
     from .irnf import IrChainNf
+
+    if registry_factory is None:
+        registry_factory = lambda core: runnable_registry(
+            seed=registry_seed + core
+        )
 
     verifier: Optional[Verifier] = None
     verified: List[VerifiedProgram] = []
@@ -1003,12 +1014,12 @@ def chain_nf_factory(
             verified.append(p)
         else:
             if verifier is None:
-                verifier = Verifier(registry=runnable_registry(registry_seed))
+                verifier = Verifier(registry=registry_factory(0))
             verified.append(verifier.verify(p))
 
     def factory(core_id: int) -> NetworkFunction:
         rt = BpfRuntime()
-        registry = runnable_registry(seed=registry_seed + core_id)
+        registry = registry_factory(core_id)
         return IrChainNf(
             rt,
             verified,
